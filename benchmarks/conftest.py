@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure, prints the rows next
+to the paper's values (run with ``-s`` to see them inline; they are also
+attached to the benchmark's extra_info), and asserts the qualitative
+shape the paper reports.
+"""
+
+import pytest
+
+
+def run_and_report(benchmark, exp_id, **kwargs):
+    """Run one experiment exactly once under pytest-benchmark."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        lambda: run_experiment(exp_id, **kwargs), rounds=1, iterations=1)
+    text = result.table_str()
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    return result

@@ -1,0 +1,15 @@
+"""Ablation: CoreEngine batch size (the design choice behind Fig. 11)."""
+
+from repro.experiments.ablations import run_batching
+
+
+def test_ablation_ce_batching(benchmark):
+    result = benchmark.pedantic(run_batching, rounds=1, iterations=1)
+    print("\n" + result.table_str())
+    cycles = dict(result.rows)
+    # Full batches amortize the fixed cost dramatically.
+    assert cycles[1] > 280
+    assert cycles[4] < 0.35 * cycles[1]
+    assert cycles[64] < cycles[16] < cycles[4]
+    # The live-load observation is recorded honestly in the notes.
+    assert "observed batch" in result.notes

@@ -1,0 +1,13 @@
+"""Ablation: NetKernel vs the "stack on the hypervisor" alternative (§2.2)."""
+
+from repro.experiments.ablations import run_double_stack
+
+
+def test_ablation_double_stack(benchmark):
+    result = benchmark.pedantic(run_double_stack, rounds=1, iterations=1)
+    print("\n" + result.table_str())
+    for row in result.row_dicts():
+        # Processing every byte by two stacks is strictly worse than
+        # both the current architecture and NetKernel.
+        assert row["double_stack"] < row["baseline"]
+        assert row["double_stack"] < row["netkernel"]

@@ -1,0 +1,12 @@
+"""Ablation: pipelined vs synchronous send() (§4.6), over the shm NSM
+so the NQE hand-off — not TCP — is the bottleneck being ablated."""
+
+from repro.experiments.ablations import run_pipelining
+
+
+def test_ablation_pipelining(benchmark):
+    result = benchmark.pedantic(run_pipelining, rounds=1, iterations=1)
+    print("\n" + result.table_str())
+    rows = dict(result.rows)
+    # Pipelining must win clearly — this is why §4.6 does it.
+    assert rows["pipelined"] > 1.25 * rows["synchronous"]

@@ -1,0 +1,15 @@
+"""Ablation: interrupt-driven polling vs pure interrupts (§4.6)."""
+
+from repro.experiments.ablations import run_polling
+
+
+def test_ablation_polling_window(benchmark):
+    result = benchmark.pedantic(run_polling, rounds=1, iterations=1)
+    print("\n" + result.table_str())
+    rows = {row[0]: (row[1], row[2]) for row in result.rows}
+    # A zero window cannot classify wakeups as polled.
+    assert rows["no_polling"][0] == 0
+    # A longer window absorbs at least as many wakeups as a shorter one.
+    assert rows["long_200us"][0] >= rows["paper_20us"][0] >= 0
+    # And wakeups did occur under the bursty load.
+    assert sum(rows["paper_20us"]) > 0

@@ -1,0 +1,12 @@
+"""Fig. 7: the synthetic most-utilized-AG traces."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig07_ag_trace(benchmark):
+    result = run_and_report(benchmark, "fig7")
+    for name in ("AG1", "AG2", "AG3"):
+        series = result.column(name)
+        peak, mean = max(series), sum(series) / len(series)
+        assert peak > 70, "bursts must approach provisioned capacity"
+        assert mean < 0.25 * peak, "average utilization must be low"

@@ -1,0 +1,17 @@
+"""Fig. 9: VM-level fair sharing under a selfish VM (packet-level DES)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig09_fairness(benchmark):
+    result = run_and_report(benchmark, "fig9", duration=1.0)
+    rows = result.row_dicts()
+    by_ratio = {row["flows_ratio"]: row for row in rows}
+    # Baseline degrades toward flow-count proportionality...
+    assert by_ratio["3:1"]["baseline_vmA_share_pct"] < 35
+    # ...while the VMCC NSM holds VM A near half at every ratio.
+    for row in rows:
+        assert 38 <= row["netkernel_vmA_share_pct"] <= 68
+    # And NetKernel always treats VM A better than baseline at 2:1+.
+    assert (by_ratio["3:1"]["netkernel_vmA_share_pct"]
+            > by_ratio["3:1"]["baseline_vmA_share_pct"])

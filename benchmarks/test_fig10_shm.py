@@ -1,0 +1,13 @@
+"""Fig. 10: shared-memory NSM vs baseline TCP for colocated VMs."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig10_shm(benchmark):
+    result = run_and_report(benchmark, "fig10")
+    rows = result.row_dicts()
+    top = rows[-1]
+    assert top["netkernel_shm_gbps"] >= 95       # ~100G at 8KB
+    assert top["speedup"] >= 1.6                 # ~2x baseline
+    speedups = result.column("speedup")
+    assert speedups[-1] > speedups[0]            # win grows with size

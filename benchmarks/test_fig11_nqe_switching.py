@@ -1,0 +1,24 @@
+"""Fig. 11: CoreEngine NQE switching throughput vs batch size."""
+
+from benchmarks.conftest import run_and_report
+from repro.model.throughput import PAPER
+
+
+def test_fig11_nqe_switching(benchmark):
+    result = run_and_report(benchmark, "fig11")
+    rows = result.row_dicts()
+    by_batch = {row["batch"]: row for row in rows}
+    # Calibrated endpoints match the paper tightly.
+    assert abs(by_batch[1]["model_M"] - 8.0) / 8.0 < 0.05
+    assert abs(by_batch[256]["model_M"] - 198.5) / 198.5 < 0.05
+    # Monotone rise, like the paper's curve.
+    series = [row["model_M"] for row in rows]
+    assert series == sorted(series)
+
+
+def test_ring_switch_wallclock(benchmark):
+    """Real-wallclock microbenchmark of the ring+pack hot path."""
+    from repro.experiments.fig11_nqe_switching import functional_switch_rate
+
+    rate = benchmark(functional_switch_rate, 4, 2048)
+    assert rate > 1e6  # simulated NQEs/s; sanity only

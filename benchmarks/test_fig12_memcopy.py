@@ -1,0 +1,15 @@
+"""Fig. 12: hugepage message-copy throughput."""
+
+from benchmarks.conftest import run_and_report
+from repro.model.throughput import PAPER
+
+
+def test_fig12_memcopy(benchmark):
+    result = run_and_report(benchmark, "fig12")
+    for row in result.row_dicts():
+        paper = PAPER["fig12_memcopy_gbps"][row["msg_size"]]
+        assert abs(row["model_gbps"] - paper) / paper < 0.35
+    # The paper's conclusion: >100G for >=4KB messages.
+    by_size = {r["msg_size"]: r for r in result.row_dicts()}
+    assert by_size[4096]["model_gbps"] > 100
+    assert by_size[8192]["model_gbps"] > 140

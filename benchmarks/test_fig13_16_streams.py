@@ -1,0 +1,22 @@
+"""Figs. 13-16: bulk stream throughput vs message size, Baseline vs
+NetKernel, single- and 8-stream, send and receive."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+PAPER_TOPS = {"fig13": 30.9, "fig14": 13.6, "fig15": 55.2, "fig16": 17.4}
+
+
+@pytest.mark.parametrize("exp_id", ["fig13", "fig14", "fig15", "fig16"])
+def test_stream_figure(benchmark, exp_id):
+    result = run_and_report(benchmark, exp_id)
+    rows = result.row_dicts()
+    top = rows[-1]
+    paper = PAPER_TOPS[exp_id]
+    # Absolute top within 15% of the paper's testbed number.
+    assert abs(top["baseline_gbps"] - paper) / paper < 0.15
+    # NetKernel on par with Baseline at every size (the headline claim).
+    for row in rows:
+        assert row["netkernel_gbps"] == pytest.approx(
+            row["baseline_gbps"], rel=0.25)

@@ -1,0 +1,18 @@
+"""Fig. 17: short-connection RPS and goodput vs message size."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig17_short_conn(benchmark):
+    result = run_and_report(benchmark, "fig17")
+    rows = result.row_dicts()
+    small = rows[0]
+    # ~70K rps at 64B for both systems.
+    assert small["baseline_krps"] == pytest.approx(70, rel=0.1)
+    assert small["netkernel_krps"] == pytest.approx(
+        small["baseline_krps"], rel=0.1)
+    # RPS declines mildly with size; goodput grows.
+    assert rows[-1]["netkernel_krps"] < small["netkernel_krps"]
+    assert rows[-1]["netkernel_gbps"] > small["netkernel_gbps"]

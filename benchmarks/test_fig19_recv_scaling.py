@@ -1,0 +1,14 @@
+"""Fig. 19: receive throughput scaling with vCPUs (91G at 8)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig19_recv_scaling(benchmark):
+    result = run_and_report(benchmark, "fig19")
+    rows = {row[0]: row for row in result.rows}
+    assert rows[8][1] == pytest.approx(91.0, rel=0.05)
+    assert rows[8][2] == pytest.approx(91.0, rel=0.05)
+    series = [row[2] for row in result.rows]
+    assert series == sorted(series)  # monotone scaling

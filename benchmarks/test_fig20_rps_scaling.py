@@ -1,0 +1,20 @@
+"""Fig. 20: RPS scaling with vCPUs for kernel and mTCP NSMs."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig20_rps_scaling(benchmark):
+    result = run_and_report(benchmark, "fig20")
+    rows = {row[0]: dict(zip(result.columns, row)) for row in result.rows}
+    # Kernel: ~70K -> ~400K (5.7x) over 8 vCPUs.
+    assert rows[1]["nk_kernel_krps"] == pytest.approx(70, rel=0.1)
+    assert rows[8]["nk_kernel_krps"] == pytest.approx(400, rel=0.1)
+    # mTCP: 190K -> 1.1M, preserving mTCP's scalability.
+    assert rows[1]["nk_mtcp_krps"] == pytest.approx(190, rel=0.1)
+    assert rows[8]["nk_mtcp_krps"] == pytest.approx(1100, rel=0.1)
+    # NetKernel == Baseline for the kernel stack at every core count.
+    for n in (1, 2, 4, 8):
+        assert rows[n]["nk_kernel_krps"] == pytest.approx(
+            rows[n]["baseline_krps"], rel=0.1)

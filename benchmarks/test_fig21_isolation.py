@@ -1,0 +1,19 @@
+"""Fig. 21: per-VM rate caps while sharing one NSM (functional DES)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig21_isolation(benchmark):
+    result = run_and_report(benchmark, "fig21")
+    rows = result.row_dicts()
+    window = [r for r in rows if 12 <= r["t_sec"] <= 19]
+    vm1 = sum(r["vm1"] for r in window) / len(window)
+    vm2 = sum(r["vm2"] for r in window) / len(window)
+    vm3 = sum(r["vm3"] for r in window) / len(window)
+    assert vm1 <= 1.3            # cap 1 Gbps (paper scale)
+    assert vm2 <= 0.75           # cap 500 Mbps
+    assert vm3 > 2.0             # uncapped VM takes the remainder
+    # After VM1 and VM2 leave, VM3 gets (nearly) the whole NSM.
+    tail = [r for r in rows if 26 <= r["t_sec"] <= 29]
+    vm3_alone = sum(r["vm3"] for r in tail) / max(1, len(tail))
+    assert vm3_alone >= vm3  # work conservation once the others leave

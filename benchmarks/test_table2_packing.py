@@ -1,0 +1,11 @@
+"""Table 2: AGs per 32-core machine, baseline vs NetKernel."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table2_packing(benchmark):
+    result = run_and_report(benchmark, "table2")
+    rows = {row[0]: row for row in result.rows}
+    baseline_ags, nk_ags = rows["# AGs"][1], rows["# AGs"][2]
+    assert baseline_ags == 16                   # paper's 32/2
+    assert nk_ags >= 1.5 * baseline_ags         # paper: 16 -> 29

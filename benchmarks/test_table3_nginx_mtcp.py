@@ -1,0 +1,14 @@
+"""Table 3: unmodified nginx over kernel vs mTCP NSMs."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table3_nginx_mtcp(benchmark):
+    result = run_and_report(benchmark, "table3")
+    for row in result.row_dicts():
+        assert 1.25 <= row["mtcp_speedup"] <= 2.0  # paper: 1.4x-1.9x
+    first = result.row_dicts()[0]
+    assert first["kernel_krps"] == pytest.approx(71.9, rel=0.1)
+    assert first["mtcp_krps"] == pytest.approx(98.1, rel=0.1)

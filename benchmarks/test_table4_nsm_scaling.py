@@ -1,0 +1,15 @@
+"""Table 4: scaling one VM across multiple 2-vCPU NSMs."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table4_nsm_scaling(benchmark):
+    result = run_and_report(benchmark, "table4")
+    rows = {row[0]: dict(zip(result.columns, row)) for row in result.rows}
+    # Send saturates at the VM ceiling; recv & RPS scale with NSMs.
+    assert rows[1]["send_gbps"] == pytest.approx(85.1, rel=0.1)
+    assert rows[4]["send_gbps"] == pytest.approx(94.2, rel=0.05)
+    assert rows[4]["recv_gbps"] == pytest.approx(91.0, rel=0.05)
+    assert rows[2]["krps"] == pytest.approx(2 * rows[1]["krps"], rel=0.05)

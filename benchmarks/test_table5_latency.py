@@ -1,0 +1,19 @@
+"""Table 5: response-time distributions (full functional DES)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table5_latency(benchmark):
+    result = run_and_report(benchmark, "table5", requests=2000,
+                            concurrency=150)
+    rows = {row[0]: dict(zip(result.columns, row)) for row in result.rows}
+    kernel = rows["NetKernel"]
+    baseline = rows["Baseline"]
+    mtcp = rows["NetKernel, mTCP NSM"]
+    # NetKernel indistinguishable from Baseline.
+    assert abs(kernel["mean"] - baseline["mean"]) <= max(
+        1.0, 0.5 * baseline["mean"])
+    # mTCP NSM: faster and dramatically tighter.
+    assert mtcp["mean"] <= kernel["mean"]
+    assert mtcp["stddev"] <= kernel["stddev"]
+    assert mtcp["max"] <= kernel["max"]

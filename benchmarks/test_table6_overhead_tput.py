@@ -1,0 +1,11 @@
+"""Table 6: CPU overhead vs throughput (rising with load)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table6_overhead_tput(benchmark):
+    result = run_and_report(benchmark, "table6")
+    measured = result.column("measured")
+    assert measured == sorted(measured)       # monotone ramp
+    assert measured[0] < measured[-1] - 0.2   # a real ramp
+    assert all(1.0 < m < 2.2 for m in measured)

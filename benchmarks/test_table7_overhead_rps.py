@@ -1,0 +1,10 @@
+"""Table 7: CPU overhead vs request rate (flat and mild)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table7_overhead_rps(benchmark):
+    result = run_and_report(benchmark, "table7")
+    measured = result.column("measured")
+    assert all(1.0 < m < 1.2 for m in measured)   # paper: 1.05-1.09
+    assert max(measured) - min(measured) < 0.02   # flat in offered load

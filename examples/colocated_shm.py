@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Use case 4 (§6.4): shared-memory networking between colocated VMs.
+
+Two VMs of the same tenant land on one host.  Under NetKernel the
+operator *knows* this (the network stack is infrastructure), so it can
+serve the pair with a shared-memory NSM that copies message chunks
+between their hugepage regions and skips TCP entirely.  Baseline VMs
+can't do this — they have no idea where the other endpoint is.
+
+Shows a functional transfer through the shm NSM plus the Fig. 10
+capacity sweep (NetKernel ~2x Baseline, ~100G at large messages).
+
+Run:  python examples/colocated_shm.py
+"""
+
+from repro import NetKernelHost, Network, Simulator
+from repro.model import throughput as tp
+from repro.units import gbps, usec
+
+
+def functional_demo() -> None:
+    sim = Simulator()
+    host = NetKernelHost(sim, Network(sim, default_rate_bps=gbps(100),
+                                      default_delay_sec=usec(25)))
+    nsm = host.add_nsm("shm-nsm", vcpus=2, stack="shm")
+    vm_a = host.add_vm("tenant-a1", vcpus=2, nsm=nsm, user="tenant-a")
+    vm_b = host.add_vm("tenant-a2", vcpus=2, nsm=nsm, user="tenant-a")
+    api_a, api_b = host.socket_api(vm_a), host.socket_api(vm_b)
+    moved = {}
+
+    def receiver():
+        listener = yield from api_a.socket()
+        yield from api_a.bind(listener, 7000)
+        yield from api_a.listen(listener)
+        conn = yield from api_a.accept(listener)
+        total = 0
+        while True:
+            data = yield from api_a.recv(conn, 1 << 20)
+            if not data:
+                break
+            total += len(data)
+        moved["bytes"] = total
+        moved["at"] = sim.now
+
+    def sender():
+        yield sim.timeout(0.001)
+        sock = yield from api_b.socket()
+        yield from api_b.connect(sock, ("shm-nsm", 7000))
+        started = sim.now
+        payload = b"m" * 65536
+        for _ in range(256):  # 16 MiB
+            yield from api_b.send(sock, payload)
+        yield from api_b.close(sock)
+        moved["send_time"] = sim.now - started
+
+    vm_a.spawn(receiver())
+    vm_b.spawn(sender())
+    sim.run(until=5.0)
+    gbps_measured = moved["bytes"] * 8 / (moved["at"] - 0.001) / 1e9
+    print(f"functional shm transfer: {moved['bytes'] / 2**20:.0f} MiB "
+          f"in {(moved['at'] - 0.001) * 1e3:.2f} ms of simulated time "
+          f"(~{gbps_measured:.0f} Gbps, no TCP processing)")
+    print(f"shm NSM copied {nsm.stack.bytes_copied / 2**20:.0f} MiB "
+          "between hugepage regions\n")
+
+
+def capacity_sweep() -> None:
+    print("Fig. 10 — colocated-VM throughput vs message size:")
+    print(f"  {'size':>6} {'baseline TCP':>13} {'shm NSM':>9} {'speedup':>8}")
+    for size in (64, 256, 1024, 4096, 8192):
+        baseline = tp.baseline_colocated_gbps(size)
+        netkernel = tp.shm_throughput_gbps(size)
+        print(f"  {size:>6} {baseline:>11.1f} G {netkernel:>7.1f} G "
+              f"{netkernel / baseline:>7.2f}x")
+    print("\nPaper: ~100 Gbps with 7 cores total, ~2x TCP Cubic.")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    capacity_sweep()

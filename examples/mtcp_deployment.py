@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Use case 3 (§6.3): deploying mTCP without any API change.
+
+The same epoll server + closed-loop load generator — written purely
+against BSD-style sockets — runs first over the kernel-stack NSM, then
+over the mTCP NSM.  The application is not modified in any way; the
+operator just points the VM at a different NSM.  mTCP's kernel-bypass
+design shows up directly in requests/second (Table 3 / Fig. 20).
+
+The paper names nginx *and redis* as the applications mTCP could not
+support natively; the last section runs the protocol-speaking redis
+model over both NSMs, byte-identical application code.
+
+Run:  python examples/mtcp_deployment.py
+"""
+
+from repro import NetKernelHost, Network, Simulator
+from repro.apps.epoll_server import EpollServer
+from repro.apps.load_gen import LoadGenerator
+from repro.model import throughput as tp
+from repro.units import gbps, usec
+
+
+def serve_with(stack: str, requests: int = 800) -> float:
+    """Run the UNMODIFIED app over the given NSM stack; returns RPS."""
+    sim = Simulator()
+    network = Network(sim, default_rate_bps=gbps(100),
+                      default_delay_sec=usec(25))
+    host = NetKernelHost(sim, network)
+    nsm_server = host.add_nsm("srv-nsm", vcpus=1, stack=stack)
+    nsm_client = host.add_nsm("cli-nsm", vcpus=2, stack=stack)
+    vm_server = host.add_vm("server", vcpus=1, nsm=nsm_server)
+    vm_client = host.add_vm("client", vcpus=2, nsm=nsm_client)
+
+    server = EpollServer(sim, host.socket_api(vm_server), port=80,
+                         request_size=64, response_size=64,
+                         app_cycles_per_request=2500.0,
+                         cores=vm_server.cores)
+    server.start(vm_server)
+    load = LoadGenerator(sim, host.socket_api(vm_client), ("srv-nsm", 80),
+                         total_requests=requests, concurrency=64)
+    sim.run(until=0.002)
+    load.start(vm_client)
+    sim.run(until=60.0)
+    assert load.stats.errors == 0, "load generator saw errors"
+    return load.stats.rps
+
+
+def redis_over(stack: str) -> dict:
+    """The unmodified redis server/client over the given NSM."""
+    from repro.apps.redis import RedisClient, RedisServer
+
+    sim = Simulator()
+    network = Network(sim, default_rate_bps=gbps(100),
+                      default_delay_sec=usec(25))
+    host = NetKernelHost(sim, network)
+    nsm_s = host.add_nsm("srv-nsm", vcpus=1, stack=stack)
+    nsm_c = host.add_nsm("cli-nsm", vcpus=1, stack=stack)
+    server_vm = host.add_vm("server", vcpus=1, nsm=nsm_s)
+    client_vm = host.add_vm("client", vcpus=1, nsm=nsm_c)
+    server = RedisServer(sim, host.socket_api(server_vm),
+                         cores=server_vm.cores)
+    server.start(server_vm)
+    out = {}
+
+    def session():
+        yield sim.timeout(0.002)
+        client = RedisClient(sim, host.socket_api(client_vm),
+                             ("srv-nsm", 6379))
+        yield from client.connect()
+        yield from client.set(b"stack", stack.encode())
+        out["value"] = yield from client.get(b"stack")
+        started = sim.now
+        for _ in range(200):
+            yield from client.ping()
+        out["ping_us"] = (sim.now - started) / 200 * 1e6
+        yield from client.close()
+
+    client_vm.spawn(session())
+    sim.run(until=10.0)
+    return out
+
+
+def main() -> None:
+    print("Functional simulation (same app binary, different NSM):")
+    kernel_rps = serve_with("kernel")
+    mtcp_rps = serve_with("mtcp")
+    print(f"  kernel-stack NSM : {kernel_rps / 1e3:7.1f} K requests/s")
+    print(f"  mTCP NSM         : {mtcp_rps / 1e3:7.1f} K requests/s "
+          f"(x{mtcp_rps / kernel_rps:.2f})")
+
+    print("\nCalibrated capacity model (nginx under ab, Table 3):")
+    print(f"  {'vCPUs':>6} {'kernel':>10} {'mTCP':>10} {'speedup':>8}")
+    for vcpus in (1, 2, 4):
+        kernel = tp.requests_per_second("netkernel", vcpus=vcpus,
+                                        app="nginx", reuseport=False)
+        mtcp = tp.requests_per_second("netkernel", stack="mtcp",
+                                      vcpus=vcpus, app="nginx",
+                                      reuseport=False)
+        print(f"  {vcpus:>6} {kernel / 1e3:>9.1f}K {mtcp / 1e3:>9.1f}K "
+              f"{mtcp / kernel:>7.2f}x")
+    print("\nPaper (Table 3): 71.9K/133.6K/200.1K vs 98.1K/183.6K/379.2K "
+          "— a 1.4x-1.9x win, no application change.")
+
+    print("\nUnmodified redis over both NSMs:")
+    for stack in ("kernel", "mtcp"):
+        out = redis_over(stack)
+        print(f"  {stack:>6} NSM: GET -> {out['value']!r}, "
+              f"PING RTT {out['ping_us']:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Prints each experiment's rows next to the paper's reported values.  The
+DES-backed experiments (fig9, fig21, table5) are packet-level
+simulations; pass --quick to shrink them, or --only fig13,table6 to
+select a subset.
+
+Run:  python examples/reproduce_paper.py [--quick] [--only ids]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import REGISTRY, run_experiment
+
+#: Runner kwargs for the heavyweight DES experiments under --quick.
+QUICK_KWARGS = {
+    "fig9": {"duration": 0.6},
+    "fig21": {"scale": 0.02, "time_factor": 0.1},
+    "table5": {"requests": 400, "concurrency": 80},
+}
+
+ORDER = ["fig7", "fig8", "table2", "fig9", "fig10", "fig11", "fig12",
+         "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+         "fig20", "fig21", "table3", "table4", "table5", "table6",
+         "table7"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the DES experiments")
+    parser.add_argument("--only", default="",
+                        help="comma-separated experiment ids")
+    args = parser.parse_args()
+
+    selected = ([x.strip() for x in args.only.split(",") if x.strip()]
+                or ORDER)
+    unknown = [x for x in selected if x not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 1
+
+    for exp_id in selected:
+        kwargs = QUICK_KWARGS.get(exp_id, {}) if args.quick else {}
+        started = time.time()
+        result = run_experiment(exp_id, **kwargs)
+        elapsed = time.time() - started
+        print(result.table_str())
+        print(f"({elapsed:.1f}s wall)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

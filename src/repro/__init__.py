@@ -1,0 +1,40 @@
+"""NetKernel reproduction.
+
+A faithful, laptop-scale reproduction of *NetKernel: Making Network Stack
+Part of the Virtualized Infrastructure* (Niu et al.), built over a
+simulated host substrate: a discrete-event engine, cycle-calibrated CPU
+cores, shared-memory rings and hugepages, a functional TCP stack, and the
+NetKernel architecture (GuestLib, NQEs, CoreEngine, ServiceLib, NSMs) on
+top — plus the baseline (stack-in-guest) architecture for comparison.
+
+Quick start::
+
+    from repro import Simulator, Network, NetKernelHost
+
+    sim = Simulator()
+    net = Network(sim)
+    host = NetKernelHost(sim, net)
+    nsm = host.add_nsm("nsm0", vcpus=1, stack="kernel")
+    vm = host.add_vm("vm1", vcpus=1, nsm=nsm)
+    api = host.socket_api(vm)
+    # write apps as generator coroutines against `api`, then sim.run(...)
+"""
+
+from repro.sim import Simulator
+from repro.net import Network, Link
+from repro.core import NetKernelHost
+from repro.baseline import BaselineHost
+from repro.cpu import CostModel, DEFAULT_COST_MODEL
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "Network",
+    "Link",
+    "NetKernelHost",
+    "BaselineHost",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "__version__",
+]

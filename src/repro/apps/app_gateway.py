@@ -1,0 +1,106 @@
+"""The application gateway (AG) model for the multiplexing use case (§6.1).
+
+AGs are operator-deployed VMs doing load balancing / proxying of tenant
+web traffic.  Functionally an AG is a keepalive epoll server whose
+per-request application work (proxy/LB logic) is substantial — the
+nginx-class cost from the cost model — and whose offered load follows a
+bursty trace.
+
+The trace-replay client drives an AG open-loop at the trace's per-interval
+request rates, which is what makes consolidation (many bursty AGs on one
+NSM) pay off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.apps.epoll_server import EpollServer
+from repro.core.sockets import SocketApi
+from repro.errors import SocketError
+
+
+class ApplicationGateway(EpollServer):
+    """An AG: keepalive request/response service with proxy-grade app cost."""
+
+    def __init__(self, sim, api: SocketApi, port: int, cores,
+                 request_size: int = 64, response_size: int = 512,
+                 app_cycles_per_request: float = 23_445.0):
+        super().__init__(sim, api, port, request_size=request_size,
+                         response_size=response_size, keepalive=True,
+                         app_cycles_per_request=app_cycles_per_request,
+                         cores=cores)
+
+
+class TraceReplayClient:
+    """Open-loop driver: sends requests at per-interval rates over a pool
+    of persistent connections."""
+
+    def __init__(self, sim, api: SocketApi, remote: Tuple[str, int],
+                 rates_per_interval: Sequence[float], interval_sec: float,
+                 connections: int = 8, request_size: int = 64,
+                 response_size: int = 512):
+        self.sim = sim
+        self.api = api
+        self.remote = remote
+        self.rates = list(rates_per_interval)
+        self.interval_sec = interval_sec
+        self.connections = connections
+        self.request_size = request_size
+        self.response_size = response_size
+        self._request = b"Q" * request_size
+        self.sent = 0
+        self.completed = 0
+        self.errors = 0
+        self.latencies: List[float] = []
+
+    def start(self, vm) -> list:
+        return [
+            vm.spawn(self._connection(i, i % vm.vcpus))
+            for i in range(self.connections)
+        ]
+
+    def _connection(self, index: int, vcpu: int):
+        """One persistent connection paced at its share of the trace rate."""
+        api = self.api
+        try:
+            sock = yield from api.socket(vcpu)
+            yield from api.connect(sock, self.remote, vcpu)
+        except SocketError:
+            self.errors += 1
+            return
+        for rate in self.rates:
+            share = rate / self.connections
+            if share <= 0:
+                yield self.sim.timeout(self.interval_sec)
+                continue
+            gap = 1.0 / share
+            interval_end = self.sim.now + self.interval_sec
+            while self.sim.now < interval_end:
+                started = self.sim.now
+                try:
+                    yield from api.send(sock, self._request, vcpu)
+                    self.sent += 1
+                    got = 0
+                    while got < self.response_size:
+                        data = yield from api.recv(sock, self.response_size,
+                                                   vcpu)
+                        if not data:
+                            break
+                        got += len(data)
+                    if got >= self.response_size:
+                        self.completed += 1
+                        self.latencies.append(self.sim.now - started)
+                    else:
+                        self.errors += 1
+                        return
+                except SocketError:
+                    self.errors += 1
+                    return
+                elapsed = self.sim.now - started
+                if elapsed < gap:
+                    yield self.sim.timeout(gap - elapsed)
+        try:
+            yield from api.close(sock, vcpu)
+        except SocketError:
+            pass

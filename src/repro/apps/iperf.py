@@ -1,0 +1,138 @@
+"""Bulk TCP stream applications (the §7.3/§7.4 throughput workloads).
+
+:class:`StreamSender` writes fixed-size messages as fast as the socket
+accepts them for a configured duration; :class:`StreamReceiver` drains and
+counts.  Goodput is measured at the application boundary, matching how
+the paper reports send/receive throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.sockets import SocketApi
+from repro.errors import SocketError
+
+
+class StreamStats:
+    """Per-direction byte counters with a measurement window."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.bytes = 0
+        self.messages = 0
+        self.errors = 0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def mark_start(self) -> None:
+        if self.started_at is None:
+            self.started_at = self.sim.now
+
+    def mark_finish(self) -> None:
+        self.finished_at = self.sim.now
+
+    @property
+    def duration(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.finished_at if self.finished_at is not None else self.sim.now
+        return max(0.0, end - self.started_at)
+
+    @property
+    def goodput_bps(self) -> float:
+        duration = self.duration
+        return self.bytes * 8.0 / duration if duration > 0 else 0.0
+
+    @property
+    def goodput_gbps(self) -> float:
+        return self.goodput_bps / 1e9
+
+
+class StreamSender:
+    """Sends ``message_size``-byte messages for ``duration`` seconds."""
+
+    def __init__(self, sim, api: SocketApi, remote: Tuple[str, int],
+                 message_size: int = 8192, duration: float = 1.0,
+                 streams: int = 1):
+        self.sim = sim
+        self.api = api
+        self.remote = remote
+        self.message_size = message_size
+        self.duration = duration
+        self.streams = streams
+        self.stats = StreamStats(sim)
+        self._message = b"D" * message_size
+
+    def start(self, vm) -> list:
+        return [
+            vm.spawn(self._stream(i % vm.vcpus))
+            for i in range(self.streams)
+        ]
+
+    def _stream(self, vcpu: int):
+        api = self.api
+        try:
+            sock = yield from api.socket(vcpu)
+            yield from api.connect(sock, self.remote, vcpu)
+        except SocketError:
+            self.stats.errors += 1
+            return
+        self.stats.mark_start()
+        deadline = self.sim.now + self.duration
+        while self.sim.now < deadline:
+            try:
+                sent = yield from api.send(sock, self._message, vcpu)
+            except SocketError:
+                self.stats.errors += 1
+                break
+            self.stats.bytes += sent
+            self.stats.messages += 1
+        self.stats.mark_finish()
+        try:
+            yield from api.close(sock, vcpu)
+        except SocketError:
+            pass
+
+
+class StreamReceiver:
+    """Accepts streams on a port and drains them."""
+
+    def __init__(self, sim, api: SocketApi, port: int,
+                 read_size: int = 65536):
+        self.sim = sim
+        self.api = api
+        self.port = port
+        self.read_size = read_size
+        self.stats = StreamStats(sim)
+
+    def start(self, vm) -> list:
+        return [vm.spawn(self._acceptor(vm))]
+
+    def _acceptor(self, vm):
+        listener = yield from self.api.socket(0)
+        yield from self.api.bind(listener, self.port)
+        yield from self.api.listen(listener, 128)
+        index = 0
+        while True:
+            conn = yield from self.api.accept(listener)
+            vm.spawn(self._drain(conn, index % vm.vcpus))
+            index += 1
+
+    def _drain(self, conn, vcpu: int):
+        self.stats.mark_start()
+        while True:
+            try:
+                data = yield from self.api.recv(conn, self.read_size, vcpu)
+            except SocketError:
+                self.stats.errors += 1
+                break
+            if not data:
+                break
+            self.stats.bytes += len(data)
+            self.stats.messages += 1
+        self.stats.mark_finish()
+        try:
+            yield from self.api.close(conn, vcpu)
+        except SocketError:
+            pass

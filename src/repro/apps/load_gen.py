@@ -1,0 +1,145 @@
+"""An ``ab``-style closed-loop load generator (§6.3, §7.3, §7.7).
+
+``concurrency`` client coroutines each loop: connect → send a fixed-size
+request → read the full response → close (non-keepalive), recording
+per-request latency, until the shared request budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.core.sockets import SocketApi
+from repro.errors import SocketError
+
+
+class LoadStats:
+    """Latency/throughput statistics, ab-style (Table 5)."""
+
+    def __init__(self):
+        self.completed = 0
+        self.errors = 0
+        self.bytes_received = 0
+        self.latencies: List[float] = []
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def record(self, latency: float) -> None:
+        self.completed += 1
+        self.latencies.append(latency)
+
+    @property
+    def duration(self) -> float:
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+    @property
+    def rps(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    def latency_summary(self) -> dict:
+        """min/mean/stddev/median/max in milliseconds (Table 5's columns)."""
+        if not self.latencies:
+            return {"min": 0.0, "mean": 0.0, "stddev": 0.0,
+                    "median": 0.0, "max": 0.0}
+        ms = sorted(latency * 1e3 for latency in self.latencies)
+        n = len(ms)
+        mean = sum(ms) / n
+        variance = sum((x - mean) ** 2 for x in ms) / n
+        median = (ms[n // 2] if n % 2 else (ms[n // 2 - 1] + ms[n // 2]) / 2)
+        return {"min": ms[0], "mean": mean, "stddev": math.sqrt(variance),
+                "median": median, "max": ms[-1]}
+
+    def percentile(self, p: float) -> float:
+        """p-th percentile latency in milliseconds."""
+        if not self.latencies:
+            return 0.0
+        ms = sorted(latency * 1e3 for latency in self.latencies)
+        index = min(len(ms) - 1, int(p / 100.0 * len(ms)))
+        return ms[index]
+
+
+class LoadGenerator:
+    """Closed-loop request generator against one remote address."""
+
+    def __init__(self, sim, api: SocketApi, remote: Tuple[str, int],
+                 total_requests: int, concurrency: int = 100,
+                 request_size: int = 64, response_size: int = 64,
+                 keepalive: bool = False):
+        self.sim = sim
+        self.api = api
+        self.remote = remote
+        self.total_requests = total_requests
+        self.concurrency = concurrency
+        self.request_size = request_size
+        self.response_size = response_size
+        self.keepalive = keepalive
+        self.stats = LoadStats()
+        self._remaining = total_requests
+        self._request = b"Q" * request_size
+
+    def start(self, vm) -> list:
+        """Spawn the client coroutines across the VM's vCPUs."""
+        self.stats.started_at = self.sim.now
+        return [
+            vm.spawn(self._client(i % vm.vcpus))
+            for i in range(self.concurrency)
+        ]
+
+    def _take(self) -> bool:
+        if self._remaining <= 0:
+            return False
+        self._remaining -= 1
+        return True
+
+    def _client(self, vcpu: int):
+        api = self.api
+        while self._take():
+            start = self.sim.now
+            try:
+                if self.keepalive:
+                    yield from self._run_keepalive(vcpu)
+                    continue
+                sock = yield from api.socket(vcpu)
+                yield from api.connect(sock, self.remote, vcpu)
+                yield from api.send(sock, self._request, vcpu)
+                got = 0
+                while got < self.response_size:
+                    data = yield from api.recv(sock, self.response_size, vcpu)
+                    if not data:
+                        break
+                    got += len(data)
+                yield from api.close(sock, vcpu)
+                if got >= self.response_size:
+                    self.stats.record(self.sim.now - start)
+                    self.stats.bytes_received += got
+                else:
+                    self.stats.errors += 1
+            except SocketError:
+                self.stats.errors += 1
+        self.stats.finished_at = self.sim.now
+
+    def _run_keepalive(self, vcpu: int):
+        """One persistent connection serving many requests."""
+        api = self.api
+        sock = yield from api.socket(vcpu)
+        yield from api.connect(sock, self.remote, vcpu)
+        served_one = False
+        while served_one is False or self._take():
+            served_one = True
+            start = self.sim.now
+            yield from api.send(sock, self._request, vcpu)
+            got = 0
+            while got < self.response_size:
+                data = yield from api.recv(sock, self.response_size, vcpu)
+                if not data:
+                    break
+                got += len(data)
+            if got < self.response_size:
+                self.stats.errors += 1
+                break
+            self.stats.record(self.sim.now - start)
+            self.stats.bytes_received += got
+        yield from api.close(sock, vcpu)

@@ -1,0 +1,7 @@
+"""The baseline architecture the paper compares against: each VM runs its
+own network stack behind a vNIC (Fig. 1a)."""
+
+from repro.baseline.host import BaselineHost, BaselineVM
+from repro.baseline.sockets import BaselineSocketApi
+
+__all__ = ["BaselineHost", "BaselineVM", "BaselineSocketApi"]

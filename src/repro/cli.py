@@ -1,0 +1,125 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    Show every reproducible paper artifact with its title.
+run <ids...>
+    Regenerate the given tables/figures (or ``all``); ``--quick`` shrinks
+    the packet-level experiments.
+calibration
+    Dump the calibrated cost model constants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from typing import List
+
+from repro.experiments import REGISTRY, run_experiment
+
+QUICK_KWARGS = {
+    "fig9": {"duration": 0.6},
+    "fig21": {"scale": 0.02, "time_factor": 0.1},
+    "table5": {"requests": 400, "concurrency": 80},
+}
+
+TITLES = {
+    "fig7": "Traffic of three most-utilized AGs",
+    "fig8": "Per-core RPS under multiplexing",
+    "fig9": "VM-level fair bandwidth sharing",
+    "fig10": "Shared-memory NSM vs colocated TCP",
+    "fig11": "CoreEngine NQE switching vs batch size",
+    "fig12": "Hugepage memory-copy throughput",
+    "fig13": "Single-stream send throughput",
+    "fig14": "Single-stream receive throughput",
+    "fig15": "8-stream send throughput",
+    "fig16": "8-stream receive throughput",
+    "fig17": "Short-connection RPS vs message size",
+    "fig18": "Send scaling with vCPUs",
+    "fig19": "Receive scaling with vCPUs",
+    "fig20": "RPS scaling (kernel and mTCP NSMs)",
+    "fig21": "Isolation with per-VM rate caps",
+    "table2": "AG packing on a 32-core machine",
+    "table3": "nginx over kernel vs mTCP NSMs",
+    "table4": "Scaling with number of NSMs",
+    "table5": "Response-time distribution",
+    "table6": "CPU overhead vs throughput",
+    "table7": "CPU overhead vs request rate",
+    "ablation-batching": "Ablation: CoreEngine batch size",
+    "ablation-polling": "Ablation: interrupt-driven polling window",
+    "ablation-pipelining": "Ablation: pipelined vs synchronous send()",
+    "ablation-queues": "Ablation: lockless per-vCPU queues vs shared",
+    "ablation-double-stack": "Ablation: stack-on-hypervisor alternative",
+}
+
+
+def _cmd_list() -> int:
+    for exp_id in sorted(REGISTRY, key=_sort_key):
+        print(f"  {exp_id:<8} {TITLES.get(exp_id, '')}")
+    return 0
+
+
+def _sort_key(exp_id: str):
+    if exp_id.startswith("fig"):
+        kind = 0
+    elif exp_id.startswith("table"):
+        kind = 1
+    else:
+        return (2, 0, exp_id)
+    return (kind, int("".join(ch for ch in exp_id if ch.isdigit())), "")
+
+
+def _cmd_run(ids: List[str], quick: bool) -> int:
+    if ids == ["all"]:
+        ids = sorted(REGISTRY, key=_sort_key)
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 1
+    for exp_id in ids:
+        kwargs = QUICK_KWARGS.get(exp_id, {}) if quick else {}
+        started = time.time()
+        result = run_experiment(exp_id, **kwargs)
+        print(result.table_str())
+        print(f"({time.time() - started:.1f}s wall)\n")
+    return 0
+
+
+def _cmd_calibration() -> int:
+    from repro.cpu.cost_model import DEFAULT_COST_MODEL
+
+    for field in dataclasses.fields(DEFAULT_COST_MODEL):
+        value = getattr(DEFAULT_COST_MODEL, field.name)
+        print(f"  {field.name:<40} {value}")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NetKernel reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproducible paper artifacts")
+    run_parser = sub.add_parser("run", help="regenerate tables/figures")
+    run_parser.add_argument("ids", nargs="+",
+                            help="experiment ids, or 'all'")
+    run_parser.add_argument("--quick", action="store_true",
+                            help="shrink the packet-level experiments")
+    sub.add_parser("calibration", help="dump cost-model constants")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.ids, args.quick)
+    if args.command == "calibration":
+        return _cmd_calibration()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""CoreEngine's connection table (Fig. 6).
+
+Maps ⟨VM ID, queue set ID, VM socket ID⟩ to ⟨NSM ID, queue set ID, NSM
+socket ID⟩ and back.  Entries are inserted when the first NQE of a new
+connection is switched, completed when the NSM's response supplies its
+socket id, and removed at close.  The table is what makes flexible
+multiplexing possible: one NSM serves many VMs, distinguished purely by
+tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import NetKernelError
+
+VmTuple = Tuple[int, int, int]    # (vm id, queue set id, vm socket id)
+NsmTuple = Tuple[int, int, int]   # (nsm id, queue set id, nsm socket id)
+
+
+class ConnectionTableError(NetKernelError):
+    """Inconsistent connection-table operation (always a bug)."""
+
+
+class Entry:
+    """One bidirectional mapping; nsm_socket_id may be pending (Fig. 6)."""
+
+    __slots__ = ("vm_tuple", "nsm_id", "nsm_queue_set", "nsm_socket_id")
+
+    def __init__(self, vm_tuple: VmTuple, nsm_id: int, nsm_queue_set: int,
+                 nsm_socket_id: Optional[int] = None):
+        self.vm_tuple = vm_tuple
+        self.nsm_id = nsm_id
+        self.nsm_queue_set = nsm_queue_set
+        self.nsm_socket_id = nsm_socket_id
+
+    @property
+    def complete(self) -> bool:
+        return self.nsm_socket_id is not None
+
+    @property
+    def nsm_tuple(self) -> Optional[NsmTuple]:
+        if self.nsm_socket_id is None:
+            return None
+        return (self.nsm_id, self.nsm_queue_set, self.nsm_socket_id)
+
+
+class ConnectionTable:
+    """Bidirectional VM-tuple ↔ NSM-tuple map."""
+
+    def __init__(self):
+        self._by_vm: Dict[VmTuple, Entry] = {}
+        self._by_nsm: Dict[NsmTuple, Entry] = {}
+        self.inserted = 0
+        self.removed = 0
+
+    def __len__(self) -> int:
+        return len(self._by_vm)
+
+    def insert(self, vm_tuple: VmTuple, nsm_id: int,
+               nsm_queue_set: int) -> Entry:
+        """Step (1)-(2) of Fig. 6: new entry with a pending NSM socket id."""
+        if vm_tuple in self._by_vm:
+            raise ConnectionTableError(f"duplicate VM tuple {vm_tuple}")
+        entry = Entry(vm_tuple, nsm_id, nsm_queue_set)
+        self._by_vm[vm_tuple] = entry
+        self.inserted += 1
+        return entry
+
+    def complete(self, vm_tuple: VmTuple, nsm_socket_id: int) -> Entry:
+        """Step (4) of Fig. 6: fill in the NSM socket id from the response."""
+        entry = self._by_vm.get(vm_tuple)
+        if entry is None:
+            raise ConnectionTableError(f"no entry for VM tuple {vm_tuple}")
+        if entry.complete:
+            if entry.nsm_socket_id != nsm_socket_id:
+                raise ConnectionTableError(
+                    f"conflicting NSM socket for {vm_tuple}: "
+                    f"{entry.nsm_socket_id} vs {nsm_socket_id}")
+            return entry
+        entry.nsm_socket_id = nsm_socket_id
+        self._by_nsm[entry.nsm_tuple] = entry
+        return entry
+
+    def lookup_vm(self, vm_tuple: VmTuple) -> Optional[Entry]:
+        return self._by_vm.get(vm_tuple)
+
+    def lookup_nsm(self, nsm_tuple: NsmTuple) -> Optional[Entry]:
+        return self._by_nsm.get(nsm_tuple)
+
+    def remove_vm(self, vm_tuple: VmTuple) -> None:
+        entry = self._by_vm.pop(vm_tuple, None)
+        if entry is None:
+            return
+        if entry.nsm_tuple is not None:
+            self._by_nsm.pop(entry.nsm_tuple, None)
+        self.removed += 1
+
+    def entries_for_vm(self, vm_id: int):
+        """All live entries belonging to one VM (for teardown/migration)."""
+        return [e for t, e in self._by_vm.items() if t[0] == vm_id]

@@ -1,0 +1,355 @@
+"""CoreEngine: the software switch and control plane (§4.3, §4.4).
+
+CoreEngine polls every NK device round-robin, consumes produced NQEs in
+batches, charges the calibrated switching cost to its dedicated core, and
+copies each NQE into the proper ring of the destination device:
+
+* VM → NSM: job-queue ops to the NSM's job ring, send ops to its send
+  ring.  The connection table maps ⟨VM id, queue set, socket id⟩ to the
+  serving NSM and (by hash) one of its queue sets.
+* NSM → VM: results to the VM's completion ring, events to its receive
+  ring, addressed by the VM tuple the NSM copied into the response.
+
+Isolation (§4.4, Fig. 21): round-robin polling gives basic fairness;
+per-VM token buckets rate-limit bandwidth (bytes through send NQEs)
+and/or operations (NQEs per second).  Egress only, as in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.conn_table import ConnectionTable
+from repro.core.nk_device import NKDevice, ROLE_NSM, ROLE_VM
+from repro.core.nqe import Nqe, NqeOp
+from repro.cpu.core import Core
+from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.errors import ConfigurationError
+from repro.mem.hugepages import HugepageRegion
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (tokens are bits or operations)."""
+
+    def __init__(self, sim, rate_per_sec: float, burst: float):
+        if rate_per_sec <= 0:
+            raise ConfigurationError(f"rate must be positive: {rate_per_sec}")
+        self.sim = sim
+        self.rate = rate_per_sec
+        self.burst = max(burst, rate_per_sec * 1e-3)
+        self.tokens = self.burst
+        self._last = sim.now
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def try_consume(self, amount: float) -> bool:
+        # A single operation larger than the burst could never pass;
+        # expand the burst to admit it (average rate is still enforced).
+        if amount > self.burst:
+            self.burst = amount
+        self._refill()
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+    def time_until(self, amount: float) -> float:
+        """Seconds until ``amount`` tokens will be available."""
+        if amount > self.burst:
+            self.burst = amount
+        self._refill()
+        deficit = amount - self.tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate
+
+
+class _Registration:
+    def __init__(self, numeric_id: int, device: NKDevice):
+        self.numeric_id = numeric_id
+        self.device = device
+
+
+class CoreEngine:
+    """The NQE switch; runs as a simulation process on a dedicated core."""
+
+    def __init__(self, sim, core: Core,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 batch_size: int = 4, ring_slots: int = 4096):
+        if batch_size < 1:
+            raise ConfigurationError(f"batch size must be >=1: {batch_size}")
+        self.sim = sim
+        self.core = core
+        self.cost = cost_model
+        self.batch_size = batch_size
+        self.ring_slots = ring_slots
+
+        self.table = ConnectionTable()
+        self._vms: Dict[int, _Registration] = {}
+        self._nsms: Dict[int, _Registration] = {}
+        self._ids = itertools.count(1)
+        self.vm_to_nsm: Dict[int, int] = {}
+
+        # Isolation state.
+        self._bw_limits: Dict[int, TokenBucket] = {}
+        self._op_limits: Dict[int, TokenBucket] = {}
+
+        # Statistics.
+        self.nqes_switched = 0
+        self.batches = 0
+        self.rate_limited_stalls = 0
+
+        self._doorbell = sim.event()
+        self._running = True
+        self._process = sim.process(self._run())
+
+    # ------------------------------------------------------------- control --
+
+    def register_vm(self, owner_id: str, queue_sets: int,
+                    hugepages: Optional[HugepageRegion] = None,
+                    poll_window_sec: Optional[float] = None) -> Tuple[int, NKDevice]:
+        """Allocate an NK device for a starting VM (§4.4)."""
+        return self._register(owner_id, ROLE_VM, queue_sets, hugepages,
+                              poll_window_sec)
+
+    def register_nsm(self, owner_id: str, queue_sets: int,
+                     hugepages: Optional[HugepageRegion] = None,
+                     poll_window_sec: Optional[float] = None) -> Tuple[int, NKDevice]:
+        """Allocate an NK device for a starting NSM (§4.4)."""
+        return self._register(owner_id, ROLE_NSM, queue_sets, hugepages,
+                              poll_window_sec)
+
+    def _register(self, owner_id: str, role: str, queue_sets: int,
+                  hugepages: Optional[HugepageRegion],
+                  poll_window_sec: Optional[float]) -> Tuple[int, NKDevice]:
+        numeric_id = next(self._ids)
+        hugepages = hugepages or HugepageRegion(name=f"{owner_id}.hp")
+        kwargs = {}
+        if poll_window_sec is not None:
+            kwargs["poll_window_sec"] = poll_window_sec
+        device = NKDevice(self.sim, owner_id, role, queue_sets, hugepages,
+                          ring_slots=self.ring_slots, **kwargs)
+        device.doorbell = self.kick
+        self.core.charge(self.cost.ce_device_setup, "ce.device_setup")
+        registry = self._vms if role == ROLE_VM else self._nsms
+        registry[numeric_id] = _Registration(numeric_id, device)
+        return numeric_id, device
+
+    def deregister(self, numeric_id: int) -> None:
+        """Release a VM's or NSM's NK device (shutdown path)."""
+        self.core.charge(self.cost.ce_device_setup, "ce.device_teardown")
+        if numeric_id in self._vms:
+            for entry in self.table.entries_for_vm(numeric_id):
+                self.table.remove_vm(entry.vm_tuple)
+            del self._vms[numeric_id]
+            self.vm_to_nsm.pop(numeric_id, None)
+        else:
+            self._nsms.pop(numeric_id, None)
+
+    def assign_vm(self, vm_id: int, nsm_id: int) -> None:
+        """Bind a VM to the NSM that will serve it (user choice or LB)."""
+        if vm_id not in self._vms:
+            raise ConfigurationError(f"unknown VM id {vm_id}")
+        if nsm_id not in self._nsms:
+            raise ConfigurationError(f"unknown NSM id {nsm_id}")
+        self.vm_to_nsm[vm_id] = nsm_id
+
+    def assign_vm_auto(self, vm_id: int) -> int:
+        """Assign a VM to the least-loaded NSM and return its id.
+
+        The paper leaves the VM→NSM mapping to "the users offline or some
+        load balancing scheme dynamically by CoreEngine" (§4.3 fn. 1);
+        this is the dynamic option, balancing by live connection count.
+        """
+        if vm_id not in self._vms:
+            raise ConfigurationError(f"unknown VM id {vm_id}")
+        if not self._nsms:
+            raise ConfigurationError("no NSM registered")
+        loads = {nsm_id: 0 for nsm_id in self._nsms}
+        for entry in self.table._by_vm.values():
+            if entry.nsm_id in loads:
+                loads[entry.nsm_id] += 1
+        nsm_id = min(sorted(loads), key=loads.get)
+        self.vm_to_nsm[vm_id] = nsm_id
+        return nsm_id
+
+    def set_bandwidth_limit(self, vm_id: int, bits_per_sec: float,
+                            burst_bits: Optional[float] = None) -> None:
+        """Cap a VM's egress bandwidth through NetKernel (Fig. 21)."""
+        self._bw_limits[vm_id] = TokenBucket(
+            self.sim, bits_per_sec, burst_bits or bits_per_sec * 0.01)
+
+    def clear_bandwidth_limit(self, vm_id: int) -> None:
+        """Remove a VM's bandwidth cap (it becomes work-conserving)."""
+        self._bw_limits.pop(vm_id, None)
+
+    def set_ops_limit(self, vm_id: int, nqes_per_sec: float) -> None:
+        """Cap a VM's NQE (operation) rate (§4.4)."""
+        self._op_limits[vm_id] = TokenBucket(
+            self.sim, nqes_per_sec, nqes_per_sec * 0.01)
+
+    def nsm_device(self, nsm_id: int) -> NKDevice:
+        """The NK device registered for an NSM id."""
+        return self._nsms[nsm_id].device
+
+    def vm_device(self, vm_id: int) -> NKDevice:
+        """The NK device registered for a VM id."""
+        return self._vms[vm_id].device
+
+    # ----------------------------------------------------------------- loop --
+
+    def kick(self) -> None:
+        """Doorbell: new NQEs were produced somewhere."""
+        if not self._doorbell.triggered:
+            self._doorbell.succeed()
+            self._doorbell = self.sim.event()
+
+    def stop(self) -> None:
+        """Shut the switching loop down (used by teardown tests)."""
+        self._running = False
+        self.kick()
+
+    def _run(self):
+        while self._running:
+            progressed = False
+            stall: Optional[float] = None
+            for registry in (self._vms, self._nsms):
+                for reg in list(registry.values()):
+                    result = yield from self._service_device(reg)
+                    if result is True:
+                        progressed = True
+                    elif isinstance(result, float):
+                        stall = result if stall is None else min(stall, result)
+            if progressed:
+                continue
+            # Idle (or rate-limited): sleep until a doorbell or tokens.
+            waits = [self._doorbell]
+            if stall is not None:
+                self.rate_limited_stalls += 1
+                waits.append(self.sim.timeout(max(stall, 1e-6)))
+            yield self.sim.any_of(waits)
+
+    def _service_device(self, reg: _Registration):
+        """Drain one device's produced rings; returns True, None, or a
+        float (seconds until rate-limit tokens allow progress)."""
+        device = reg.device
+        progressed = False
+        stall: Optional[float] = None
+        for qs in device.queue_sets:
+            control_ring, data_ring = device.produce_rings(qs)
+            batch: List[Nqe] = control_ring.pop_batch(self.batch_size,
+                                                      owner=self)
+            while len(batch) < self.batch_size:
+                nqe: Optional[Nqe] = data_ring.peek(owner=self)
+                if nqe is None:
+                    break
+                wait = self._admission_delay(reg, device, nqe)
+                if wait > 0:
+                    stall = wait if stall is None else min(stall, wait)
+                    break
+                data_ring.pop(owner=self)
+                batch.append(nqe)
+            if not batch:
+                continue
+            yield self.core.execute(self.cost.ce_batch_cycles(len(batch)),
+                                    "ce.switch")
+            self.batches += 1
+            for nqe in batch:
+                yield from self._route(reg, device, nqe)
+            progressed = True
+        if progressed:
+            return True
+        return stall
+
+    def _admission_delay(self, reg: _Registration, device: NKDevice,
+                         nqe: Nqe) -> float:
+        """Seconds until this (VM-egress) NQE passes its token buckets."""
+        if device.role != ROLE_VM:
+            return 0.0
+        delay = 0.0
+        bw = self._bw_limits.get(reg.numeric_id)
+        if bw is not None:
+            bits = nqe.size * 8.0
+            if not bw.try_consume(bits):
+                return max(bw.time_until(bits), 1e-6)
+        ops = self._op_limits.get(reg.numeric_id)
+        if ops is not None:
+            if not ops.try_consume(1.0):
+                delay = max(ops.time_until(1.0), 1e-6)
+                if bw is not None:
+                    bw.tokens += nqe.size * 8.0  # undo the bandwidth charge
+        return delay
+
+    # ---------------------------------------------------------------- routing --
+
+    def _route(self, reg: _Registration, device: NKDevice, nqe: Nqe):
+        if device.role == ROLE_VM:
+            yield from self._route_vm_to_nsm(reg, nqe)
+        else:
+            yield from self._route_nsm_to_vm(reg, nqe)
+        self.nqes_switched += 1
+
+    def _route_vm_to_nsm(self, reg: _Registration, nqe: Nqe):
+        vm_tuple = nqe.vm_tuple
+        entry = self.table.lookup_vm(vm_tuple)
+        if entry is None:
+            nsm_id = self.vm_to_nsm.get(reg.numeric_id)
+            if nsm_id is None:
+                raise ConfigurationError(
+                    f"VM {reg.numeric_id} has no NSM assigned")
+            nsm_device = self._nsms[nsm_id].device
+            qset = hash(vm_tuple) % len(nsm_device.queue_sets)
+            entry = self.table.insert(vm_tuple, nsm_id, qset)
+            if nqe.op == NqeOp.ACCEPT_ATTACH:
+                # The NSM socket already exists; complete the entry now.
+                self.table.complete(vm_tuple, nqe.op_data)
+        nsm_device = self._nsms[entry.nsm_id].device
+        qs = nsm_device.queue_sets[entry.nsm_queue_set]
+        control_ring, data_ring = nsm_device.consume_rings(qs)
+        ring = data_ring if nqe.op == NqeOp.SEND else control_ring
+        yield from self._deliver(ring, nqe, nsm_device)
+
+    def _route_nsm_to_vm(self, reg: _Registration, nqe: Nqe):
+        vm_tuple = nqe.vm_tuple
+        vm_reg = self._vms.get(nqe.vm_id)
+        if vm_reg is None:
+            return  # VM shut down; drop the response
+        entry = self.table.lookup_vm(vm_tuple)
+        if entry is not None and not entry.complete and nqe.op == NqeOp.OP_RESULT:
+            if nqe.op_data >= 0:
+                # Fig. 6 step (4): response carries the NSM socket id.
+                self.table.complete(vm_tuple, nqe.op_data)
+        if (nqe.op == NqeOp.OP_RESULT and isinstance(nqe.aux, dict)
+                and nqe.aux.get("req_op") == NqeOp.CLOSE):
+            self.table.remove_vm(vm_tuple)
+        vm_device = vm_reg.device
+        qs = vm_device.queue_sets[nqe.queue_set_id % len(vm_device.queue_sets)]
+        control_ring, data_ring = vm_device.consume_rings(qs)
+        is_event = nqe.op in (NqeOp.DATA_ARRIVED, NqeOp.ACCEPT_EVENT,
+                              NqeOp.CONNECTED_EVENT, NqeOp.PEER_CLOSED,
+                              NqeOp.ERROR_EVENT)
+        ring = data_ring if is_event else control_ring
+        yield from self._deliver(ring, nqe, vm_device)
+
+    def _deliver(self, ring, nqe: Nqe, target_device: NKDevice):
+        """Copy the NQE into the destination ring, stalling on backpressure."""
+        while not ring.try_push(nqe, owner=self):
+            yield self.sim.timeout(2e-6)
+        target_device.wake()
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Lifetime switching counters (NQEs, batches, table size)."""
+        return {
+            "nqes_switched": self.nqes_switched,
+            "batches": self.batches,
+            "avg_batch": (self.nqes_switched / self.batches
+                          if self.batches else 0.0),
+            "connections": len(self.table),
+            "rate_limited_stalls": self.rate_limited_stalls,
+        }

@@ -1,0 +1,179 @@
+"""NetKernelHost: assembles CoreEngine, NSMs, and tenant VMs on one
+physical machine (Fig. 2).
+
+Typical wiring::
+
+    host = NetKernelHost(sim, network)
+    nsm = host.add_nsm("nsm0", vcpus=2, stack="kernel")
+    vm = host.add_vm("vm1", vcpus=1, nsm=nsm)
+    api = host.socket_api(vm)          # BSD socket facade for apps
+    vm.spawn(my_app(api))
+
+The NSM's stack is the host's network endpoint: traffic addressed to the
+NSM's name reaches every VM it serves (port-demultiplexed), exactly as in
+the paper where the guest has no vNIC of its own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.coreengine import CoreEngine
+from repro.core.guestlib import GuestLib
+from repro.core.nsm import NetworkStackModule
+from repro.core.servicelib import ServiceLib
+from repro.core.vm import GuestVM
+from repro.cpu.core import Core
+from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.errors import ConfigurationError
+from repro.mem.hugepages import HugepageRegion
+from repro.net.fabric import Network
+from repro.stack.kernel_stack import KernelStack
+from repro.stack.mtcp_stack import MtcpStack
+from repro.stack.shared_memory_stack import SharedMemoryStack
+
+
+class NetKernelHost:
+    """One physical host running the NetKernel architecture."""
+
+    STACK_FLAVOURS = ("kernel", "mtcp", "shm")
+
+    def __init__(self, sim, network: Optional[Network] = None,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 ce_batch_size: int = 4, name: str = "host"):
+        self.sim = sim
+        self.name = name
+        self.cost = cost_model
+        self.network = network if network is not None else Network(sim)
+        self.ce_core = Core(sim, name=f"{name}.ce", hz=cost_model.core_hz)
+        self.coreengine = CoreEngine(sim, self.ce_core, cost_model,
+                                     batch_size=ce_batch_size)
+        self.vms: Dict[str, GuestVM] = {}
+        self.nsms: Dict[str, NetworkStackModule] = {}
+
+    # -- NSMs -------------------------------------------------------------------
+
+    def add_nsm(self, name: str, vcpus: int = 1, stack: str = "kernel",
+                cc_factory: Optional[Callable] = None,
+                nic_rate_bps: Optional[float] = None,
+                stack_kwargs: Optional[dict] = None) -> NetworkStackModule:
+        """Boot an NSM running the given stack flavour.
+
+        ``nic_rate_bps`` caps the NSM's fabric links (an SR-IOV VF rate,
+        as in Fig. 21's 10G NSM).
+        """
+        if name in self.nsms:
+            raise ConfigurationError(f"NSM {name} already exists")
+        nsm = NetworkStackModule(self.sim, name, vcpus, self.cost)
+        stack_kwargs = dict(stack_kwargs or {})
+        if stack == "kernel":
+            nsm.stack = KernelStack(self.sim, self._scoped_network(name, nic_rate_bps),
+                                    name, nsm.cores, self.cost,
+                                    cc_factory=cc_factory, **stack_kwargs)
+        elif stack == "mtcp":
+            nsm.stack = MtcpStack(self.sim, self._scoped_network(name, nic_rate_bps),
+                                  name, nsm.cores, self.cost,
+                                  cc_factory=cc_factory, **stack_kwargs)
+        elif stack == "shm":
+            nsm.stack = SharedMemoryStack(self.sim, nsm.cores, self.cost,
+                                          host_id=name, **stack_kwargs)
+        else:
+            raise ConfigurationError(
+                f"unknown stack {stack!r}; choose from {self.STACK_FLAVOURS}")
+        nsm_id, device = self.coreengine.register_nsm(name, queue_sets=vcpus)
+        nsm.nsm_id = nsm_id
+        nsm.servicelib = ServiceLib(self.sim, nsm_id, device, nsm.stack,
+                                    nsm.cores, self.cost)
+        self.nsms[name] = nsm
+        return nsm
+
+    def _scoped_network(self, endpoint: str, nic_rate_bps: Optional[float]):
+        """The fabric the NSM's stack registers on, with optional VF cap."""
+        if nic_rate_bps is None:
+            return self.network
+        from repro.net.link import Link
+
+        network = self.network
+
+        class _CappedFabric:
+            """Registers the endpoint with rate-capped access links."""
+
+            def add_endpoint(self, host_id, handler):
+                network.add_endpoint(
+                    host_id, handler,
+                    uplink=Link(network.sim, nic_rate_bps,
+                                network.default_delay_sec,
+                                name=f"{host_id}.vf-up"),
+                    downlink=Link(network.sim, nic_rate_bps,
+                                  network.default_delay_sec,
+                                  name=f"{host_id}.vf-down"))
+
+            def send(self, packet):
+                return network.send(packet)
+
+        return _CappedFabric()
+
+    # -- VMs ---------------------------------------------------------------------
+
+    def add_vm(self, name: str, vcpus: int = 1,
+               nsm: Optional[NetworkStackModule] = None,
+               user: str = "tenant",
+               poll_window_sec: Optional[float] = None) -> GuestVM:
+        """Boot a tenant VM and connect it to its serving NSM.
+
+        With ``nsm=None`` CoreEngine load-balances the VM onto the
+        least-loaded registered NSM (§4.3 fn. 1).
+        """
+        if name in self.vms:
+            raise ConfigurationError(f"VM {name} already exists")
+        vm = GuestVM(self.sim, name, vcpus, user=user, cost_model=self.cost)
+        region = HugepageRegion(name=f"{name}.hp")
+        vm_id, device = self.coreengine.register_vm(
+            name, queue_sets=vcpus, hugepages=region,
+            poll_window_sec=poll_window_sec)
+        vm.vm_id = vm_id
+        vm.guestlib = GuestLib(self.sim, vm_id, device, vm.cores, self.cost)
+        if nsm is None:
+            # Dynamic load balancing by CoreEngine (§4.3 fn. 1).
+            nsm_id = self.coreengine.assign_vm_auto(vm_id)
+            nsm = next(n for n in self.nsms.values() if n.nsm_id == nsm_id)
+        else:
+            self.coreengine.assign_vm(vm_id, nsm.nsm_id)
+        nsm.servicelib.attach_vm_region(vm_id, region)
+        self.vms[name] = vm
+        return vm
+
+    def add_vcpu(self, vm: GuestVM) -> int:
+        """Hot-add a vCPU to a VM: a new core plus its queue-set lane
+        (§4.4's dynamic queue scaling).  Returns the new vCPU index."""
+        core = Core(self.sim, name=f"{vm.name}.cpu{vm.vcpus}",
+                    hz=self.cost.core_hz)
+        vm.cores.append(core)
+        return vm.guestlib.add_vcpu_lane(core)
+
+    def switch_nsm(self, vm: GuestVM, nsm: NetworkStackModule) -> None:
+        """Re-point a VM at a different NSM (new connections only)."""
+        self.coreengine.assign_vm(vm.vm_id, nsm.nsm_id)
+        region = self.coreengine.vm_device(vm.vm_id).hugepages
+        nsm.servicelib.attach_vm_region(vm.vm_id, region)
+
+    def remove_vm(self, vm: GuestVM) -> None:
+        """Tear down a VM: deregister its NK device (§4.4)."""
+        self.coreengine.deregister(vm.vm_id)
+        self.vms.pop(vm.name, None)
+
+    def socket_api(self, vm: GuestVM):
+        """The BSD socket facade applications in ``vm`` program against."""
+        from repro.core.sockets import NetKernelSocketApi
+
+        return NetKernelSocketApi(vm.guestlib)
+
+    # -- accounting -----------------------------------------------------------------
+
+    def cycles_by_role(self) -> Dict[str, float]:
+        """Total busy cycles per role, the §7.8 accounting breakdown."""
+        return {
+            "vms": sum(vm.total_cycles() for vm in self.vms.values()),
+            "nsms": sum(nsm.total_cycles() for nsm in self.nsms.values()),
+            "coreengine": self.ce_core.busy_cycles,
+        }

@@ -1,0 +1,144 @@
+"""The NK device: a virtual device of queue sets plus notification state.
+
+Each VM and each NSM has one NK device (§4).  Ring direction depends on
+the device's role: a **VM** device produces into its job/send rings and
+consumes completion/receive; an **NSM** device is the mirror image —
+ServiceLib consumes job/send and produces completion/receive.  CoreEngine
+always sits on the other end of every ring, which is what keeps each ring
+single-producer / single-consumer (§3).
+
+The device implements interrupt-driven polling for its consumer (§4.6):
+the consumer polls for a short window (20 µs by default) and then sleeps
+until CoreEngine wakes the device.  Wakeups landing inside the window are
+counted as polled (cheap); later ones as interrupts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.nqe import Nqe
+from repro.core.queues import QueueSet
+from repro.errors import ConfigurationError
+from repro.mem.hugepages import HugepageRegion
+from repro.mem.ring import SpscRing
+
+ROLE_VM = "vm"
+ROLE_NSM = "nsm"
+
+
+class NKDevice:
+    """Queue sets + hugepage mapping + notification for one VM or NSM."""
+
+    def __init__(self, sim, owner_id: str, role: str, queue_sets: int,
+                 hugepages: HugepageRegion, ring_slots: int = 4096,
+                 poll_window_sec: float = 20e-6):
+        if queue_sets < 1:
+            raise ConfigurationError("NK device needs >=1 queue set")
+        if role not in (ROLE_VM, ROLE_NSM):
+            raise ConfigurationError(f"unknown NK device role: {role}")
+        self.sim = sim
+        self.owner_id = owner_id
+        self.role = role
+        self.queue_sets: List[QueueSet] = [
+            QueueSet(owner_id, i, slots=ring_slots) for i in range(queue_sets)
+        ]
+        self.hugepages = hugepages
+        self.poll_window_sec = poll_window_sec
+        #: Doorbell toward CoreEngine (installed at registration).
+        self.doorbell: Optional[Callable[[], None]] = None
+        #: Event consumers wait on; re-armed after each wake.
+        self._wake_event = sim.event()
+        self._poll_started_at: Optional[float] = None
+        # Statistics (§4.6 evaluation of interrupt-driven polling).
+        self.wakeups_polled = 0
+        self.wakeups_interrupt = 0
+
+    def add_queue_set(self, ring_slots: int = 4096) -> QueueSet:
+        """Hot-add one queue-set lane (§4.4: "queues can be dynamically
+        added or removed with the number of vCPUs")."""
+        qs = QueueSet(self.owner_id, len(self.queue_sets), slots=ring_slots)
+        self.queue_sets.append(qs)
+        return qs
+
+    # -- ring direction ---------------------------------------------------------
+
+    def produce_rings(self, qs: QueueSet) -> Tuple[SpscRing, SpscRing]:
+        """(control ring, data ring) this device's owner produces into."""
+        if self.role == ROLE_VM:
+            return (qs.job, qs.send)
+        return (qs.completion, qs.receive)
+
+    def consume_rings(self, qs: QueueSet) -> Tuple[SpscRing, SpscRing]:
+        """(control ring, data ring) this device's owner consumes from."""
+        if self.role == ROLE_VM:
+            return (qs.completion, qs.receive)
+        return (qs.job, qs.send)
+
+    def queue_set_for(self, vcpu_index: int) -> QueueSet:
+        """The lane a given vCPU produces into (single-producer rule)."""
+        return self.queue_sets[vcpu_index % len(self.queue_sets)]
+
+    # -- notifications -------------------------------------------------------------
+
+    def ring_doorbell(self) -> None:
+        """Tell CoreEngine that freshly produced NQEs are waiting."""
+        if self.doorbell is not None:
+            self.doorbell()
+
+    def wake(self) -> None:
+        """CoreEngine delivered inbound NQEs: wake a sleeping consumer."""
+        if self._poll_started_at is not None:
+            elapsed = self.sim.now - self._poll_started_at
+            if elapsed <= self.poll_window_sec:
+                self.wakeups_polled += 1
+            else:
+                self.wakeups_interrupt += 1
+            self._poll_started_at = None
+        if not self._wake_event.triggered:
+            self._wake_event.succeed()
+            self._wake_event = self.sim.event()
+
+    def wait_for_inbound(self):
+        """Event to yield on when every consume ring is empty.
+
+        Marks the start of the polling window for wake accounting.
+        """
+        if self._poll_started_at is None:
+            self._poll_started_at = self.sim.now
+        return self._wake_event
+
+    # -- bulk access ------------------------------------------------------------------
+
+    def consume_pending(self) -> bool:
+        return any(
+            len(ring) for qs in self.queue_sets
+            for ring in self.consume_rings(qs))
+
+    def produce_pending(self) -> bool:
+        return any(
+            len(ring) for qs in self.queue_sets
+            for ring in self.produce_rings(qs))
+
+    def drain_consume(self, max_items: int, consumer: object) -> List[Nqe]:
+        """Pop up to ``max_items`` NQEs across this owner's consume rings."""
+        batch: List[Nqe] = []
+        for qs in self.queue_sets:
+            for ring in self.consume_rings(qs):
+                if len(batch) >= max_items:
+                    return batch
+                batch.extend(ring.pop_batch(max_items - len(batch),
+                                            owner=consumer))
+        return batch
+
+    def stats(self) -> dict:
+        merged = {}
+        for qs in self.queue_sets:
+            merged.update(qs.stats())
+        merged["wakeups_polled"] = self.wakeups_polled
+        merged["wakeups_interrupt"] = self.wakeups_interrupt
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<NKDevice {self.owner_id} role={self.role} "
+                f"x{len(self.queue_sets)}>")

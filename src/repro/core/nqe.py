@@ -1,0 +1,139 @@
+"""NetKernel Queue Elements (NQEs).
+
+Figure 3 of the paper: a fixed 32-byte element encoding one socket
+operation, one execution result, or one data event::
+
+    1B op type | 1B VM ID | 1B queue set ID | 4B VM socket ID |
+    8B op_data | 8B data pointer | 4B size | 5B reserved
+
+We keep the exact wire layout (``pack``/``unpack`` round-trip through 32
+bytes) so the queue-element representation is faithful, while the hot path
+passes the Python objects themselves — the simulator's equivalent of
+writing the struct into shared memory.
+
+``op_data`` carries operation arguments (port numbers, flags, result
+codes).  Arguments that do not fit in 8 bytes in our string-addressed
+simulation (e.g. a destination host name) travel in ``aux``; the real
+system packs them into op_data as an IPv4 address + port, so the
+information content is the same and the 32-byte budget is honest.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import struct
+from typing import Any, Optional
+
+#: The fixed NQE size (Fig. 3).
+NQE_SIZE = 32
+
+_STRUCT = struct.Struct("<BBBi q q i 5x")
+assert _STRUCT.size == NQE_SIZE
+
+_tokens = itertools.count(1)
+
+
+class NqeOp(enum.IntEnum):
+    """Operation / event types carried by NQEs."""
+
+    # VM -> NSM socket operations (job queue).
+    SOCKET = 1
+    BIND = 2
+    LISTEN = 3
+    CONNECT = 4
+    ACCEPT_ATTACH = 5   # VM attaches its socket id to an accepted conn
+    SETSOCKOPT = 6
+    GETSOCKOPT = 7
+    SHUTDOWN = 8
+    CLOSE = 9
+    #: Guest consumed received bytes: replenish the NSM-side receive
+    #: window (the simulation's explicit form of the paper's "receive
+    #: buffer usage" accounting in §4.5).
+    RECV_CREDIT = 10
+    # VM -> NSM operations with data (send queue).
+    SEND = 16
+    SENDTO = 17
+    # NSM -> VM results (completion queue).
+    OP_RESULT = 32
+    SEND_RESULT = 33
+    # NSM -> VM events (receive queue).
+    DATA_ARRIVED = 48
+    ACCEPT_EVENT = 49
+    CONNECTED_EVENT = 50
+    PEER_CLOSED = 51
+    ERROR_EVENT = 52
+
+
+class Nqe:
+    """One queue element.
+
+    ``token`` correlates a response with its request (the real system uses
+    the socket id plus op type; an explicit token keeps the simulation
+    easy to audit).  ``aux`` carries non-numeric arguments as described in
+    the module docstring.
+    """
+
+    __slots__ = ("op", "vm_id", "queue_set_id", "socket_id", "op_data",
+                 "data_ptr", "size", "token", "aux", "created_at")
+
+    def __init__(self, op: NqeOp, vm_id: int, queue_set_id: int,
+                 socket_id: int, op_data: int = 0, data_ptr: int = 0,
+                 size: int = 0, token: Optional[int] = None,
+                 aux: Any = None, created_at: float = 0.0):
+        self.op = NqeOp(op)
+        self.vm_id = vm_id
+        self.queue_set_id = queue_set_id
+        self.socket_id = socket_id
+        self.op_data = op_data
+        self.data_ptr = data_ptr
+        self.size = size
+        self.token = next(_tokens) if token is None else token
+        self.aux = aux
+        self.created_at = created_at
+
+    # -- wire format -------------------------------------------------------
+
+    def pack(self) -> bytes:
+        """The 32-byte on-queue representation (Fig. 3)."""
+        return _STRUCT.pack(int(self.op), self.vm_id, self.queue_set_id,
+                            self.socket_id, self.op_data, self.data_ptr,
+                            self.size)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "Nqe":
+        """Decode a 32-byte element (token/aux are sim-side metadata)."""
+        if len(raw) != NQE_SIZE:
+            raise ValueError(f"NQE must be {NQE_SIZE} bytes, got {len(raw)}")
+        op, vm_id, qset, sock, op_data, data_ptr, size = _STRUCT.unpack(raw)
+        return cls(NqeOp(op), vm_id, qset, sock, op_data, data_ptr, size,
+                   token=0)
+
+    def response(self, op: NqeOp, op_data: int = 0, data_ptr: int = 0,
+                 size: int = 0, aux: Any = None) -> "Nqe":
+        """A response NQE carrying this request's VM tuple and token."""
+        return Nqe(op, self.vm_id, self.queue_set_id, self.socket_id,
+                   op_data=op_data, data_ptr=data_ptr, size=size,
+                   token=self.token, aux=aux)
+
+    @property
+    def vm_tuple(self):
+        """⟨VM ID, queue set ID, socket ID⟩ — the connection-table key."""
+        return (self.vm_id, self.queue_set_id, self.socket_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<NQE {self.op.name} vm={self.vm_id} qs={self.queue_set_id} "
+                f"sock={self.socket_id} size={self.size}>")
+
+
+#: Result codes carried in op_data of OP_RESULT NQEs.
+RESULT_OK = 0
+RESULT_ERRNO = {
+    "EADDRINUSE": 98,
+    "ECONNREFUSED": 111,
+    "ECONNRESET": 104,
+    "ETIMEDOUT": 110,
+    "EINVAL": 22,
+    "EBADF": 9,
+}
+ERRNO_NAMES = {code: name for name, code in RESULT_ERRNO.items()}

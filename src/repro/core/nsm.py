@@ -1,0 +1,51 @@
+"""The Network Stack Module: a VM-based NSM running one network stack.
+
+The paper's design choice (§3, "VM Based NSM"): each NSM is a full VM with
+dedicated cores, running either the kernel stack, mTCP, the shared-memory
+stack, or a custom congestion-control stack — all provided and operated
+by the cloud provider.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cpu.core import Core
+from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.errors import ConfigurationError
+
+
+class NetworkStackModule:
+    """One NSM: cores + a stack + (after registration) a ServiceLib."""
+
+    def __init__(self, sim, name: str, vcpus: int = 1,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 core_hz: Optional[float] = None):
+        if vcpus < 1:
+            raise ConfigurationError(f"NSM needs >=1 vCPU, got {vcpus}")
+        self.sim = sim
+        self.name = name
+        hz = core_hz or cost_model.core_hz
+        self.cores: List[Core] = [
+            Core(sim, name=f"{name}.cpu{i}", hz=hz) for i in range(vcpus)
+        ]
+        self.cost = cost_model
+        # Installed by NetKernelHost.add_nsm().
+        self.nsm_id: Optional[int] = None
+        self.stack = None
+        self.servicelib = None
+
+    @property
+    def vcpus(self) -> int:
+        return len(self.cores)
+
+    @property
+    def stack_name(self) -> str:
+        return self.stack.name if self.stack is not None else "unassigned"
+
+    def total_cycles(self) -> float:
+        return sum(core.busy_cycles for core in self.cores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<NSM {self.name} stack={self.stack_name} "
+                f"vcpus={self.vcpus}>")

@@ -1,0 +1,501 @@
+"""ServiceLib: the NSM-side peer of GuestLib (§4.5, §5).
+
+One poller per queue set (per NSM vCPU) consumes job/send NQEs, invokes
+the NSM's network stack, and produces completion/receive NQEs.  Payloads
+travel through the hugepage region shared with the VM: sends are read out
+of hugepages into the stack, received data is copied into hugepages and
+announced with DATA_ARRIVED events.
+
+Accept and send are pipelined as in §4.6: the NSM accepts connections the
+moment the stack surfaces them (before the guest application calls
+``accept()``), and send results flow back asynchronously as send-buffer
+credit.
+
+Receive-side flow control mirrors the paper's per-connection "receive
+buffer usage": ServiceLib stops draining the stack (letting TCP flow
+control push back on the sender) once a connection has
+``recv_window_bytes`` in flight toward the guest, and resumes when
+RECV_CREDIT NQEs report consumption.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.core.nk_device import NKDevice
+from repro.core.nqe import Nqe, NqeOp, RESULT_ERRNO
+from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.errors import SocketError
+
+VmTuple = Tuple[int, int, int]
+
+#: Largest chunk copied into one hugepage buffer / one DATA_ARRIVED NQE.
+RX_CHUNK = 64 * 1024
+
+
+class _SocketContext:
+    """ServiceLib's per-connection state."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, stack_sock, qset: int, kind: str = "stream"):
+        self.nsm_sock_id = next(self._ids)
+        self.stack_sock = stack_sock
+        self.qset = qset
+        self.kind = kind
+        self.vm_tuple: Optional[VmTuple] = None
+        self.is_listener = False
+        self.listener_ctx: Optional["_SocketContext"] = None
+        #: Outbound bytes taken from hugepages but not yet in the stack.
+        self.pending_tx: Deque[bytes] = deque()
+        self.pending_tx_bytes = 0
+        #: Bytes announced to the guest and not yet credited back.
+        self.rx_window_used = 0
+        self.closing = False
+        self.peer_closed_sent = False
+        self.connect_token: Optional[Nqe] = None
+
+
+class ServiceLib:
+    """Translates NQEs to stack calls inside one NSM."""
+
+    def __init__(self, sim, nsm_id: int, device: NKDevice, stack, cores,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 recv_window_bytes: int = 256 * 1024):
+        self.sim = sim
+        self.nsm_id = nsm_id
+        self.device = device
+        self.stack = stack
+        self.cores = list(cores)
+        self.cost = cost_model
+        self.recv_window_bytes = recv_window_bytes
+        #: Per-VM shared hugepage regions ("a unique set of hugepages are
+        #: shared between each VM-NSM tuple", §4): vm_id -> region.
+        self._regions: Dict[int, object] = {}
+
+        self._by_vm_tuple: Dict[VmTuple, _SocketContext] = {}
+        self._by_nsm_id: Dict[int, _SocketContext] = {}
+
+        self._pollers = [
+            sim.process(self._poller(idx))
+            for idx in range(len(device.queue_sets))
+        ]
+
+        # Statistics.
+        self.nqes_processed = 0
+        self.nqes_emitted = 0
+
+    def attach_vm_region(self, vm_id: int, region) -> None:
+        """Map the hugepage region shared with one served VM."""
+        self._regions[vm_id] = region
+
+    def _region_for(self, vm_id: int):
+        region = self._regions.get(vm_id)
+        if region is None:
+            raise KeyError(f"no hugepage region attached for VM {vm_id}")
+        return region
+
+    # -- emission (NSM -> VM) ------------------------------------------------
+
+    def _emit(self, ctx_qset: int, nqe: Nqe, event: bool) -> None:
+        """Produce one NQE toward CoreEngine, retrying while the ring is
+        full (callback-safe: retries are scheduled, not blocking)."""
+        qs = self.device.queue_sets[ctx_qset % len(self.device.queue_sets)]
+        completion_ring, receive_ring = self.device.produce_rings(qs)
+        ring = receive_ring if event else completion_ring
+        core = self.cores[ctx_qset % len(self.cores)]
+        core.charge(self.cost.servicelib_nqe_prep, "servicelib.prep")
+
+        def attempt() -> None:
+            if ring.try_push(nqe, owner=self):
+                self.nqes_emitted += 1
+                self.device.ring_doorbell()
+            else:
+                self.sim.call_later(2e-6, attempt)
+
+        attempt()
+
+    def _respond(self, request: Nqe, ctx_qset: int, op_data: int = 0,
+                 req_op: Optional[NqeOp] = None) -> None:
+        response = request.response(NqeOp.OP_RESULT, op_data=op_data,
+                                    aux={"req_op": req_op or request.op})
+        self._emit(ctx_qset, response, event=False)
+
+    def _respond_errno(self, request: Nqe, ctx_qset: int,
+                       errno_name: str) -> None:
+        code = RESULT_ERRNO.get(errno_name, 5)
+        self._respond(request, ctx_qset, op_data=-code)
+
+    # -- pollers (VM -> NSM) -----------------------------------------------------
+
+    def _poller(self, qset_index: int):
+        qs = self.device.queue_sets[qset_index]
+        core = self.cores[qset_index % len(self.cores)]
+        job_ring, send_ring = self.device.consume_rings(qs)
+        while True:
+            batch = job_ring.pop_batch(32, owner=self)
+            batch.extend(send_ring.pop_batch(32, owner=self))
+            if not batch:
+                yield self.device.wait_for_inbound()
+                continue
+            cycles = len(batch) * self.cost.servicelib_nqe_dispatch
+            yield core.execute(cycles, "servicelib.dispatch")
+            for nqe in batch:
+                self.nqes_processed += 1
+                yield from self._handle(nqe, qset_index, core)
+
+    def _handle(self, nqe: Nqe, qset: int, core):
+        handler = {
+            NqeOp.SOCKET: self._op_socket,
+            NqeOp.BIND: self._op_bind,
+            NqeOp.LISTEN: self._op_listen,
+            NqeOp.CONNECT: self._op_connect,
+            NqeOp.ACCEPT_ATTACH: self._op_accept_attach,
+            NqeOp.SEND: self._op_send,
+            NqeOp.SENDTO: self._op_sendto,
+            NqeOp.RECV_CREDIT: self._op_recv_credit,
+            NqeOp.CLOSE: self._op_close,
+            NqeOp.SETSOCKOPT: self._op_setsockopt,
+            NqeOp.SHUTDOWN: self._op_shutdown,
+        }.get(nqe.op)
+        if handler is None:
+            self._respond_errno(nqe, qset, "EINVAL")
+            return
+        yield from handler(nqe, qset, core)
+
+    # -- control operations ----------------------------------------------------------
+
+    def _op_socket(self, nqe: Nqe, qset: int, core):
+        """Create the NSM-side socket; op_data of the result carries the
+        NSM socket id that completes the connection-table entry.
+
+        op_data of the request selects the family: 0 stream, 1 datagram.
+        """
+        if nqe.op_data == 1:
+            if not hasattr(self.stack, "udp_socket"):
+                self._respond_errno(nqe, qset, "EINVAL")
+                return
+            stack_sock = self.stack.udp_socket()
+            ctx = _SocketContext(stack_sock, qset, kind="udp")
+            ctx.vm_tuple = nqe.vm_tuple
+            self._by_vm_tuple[ctx.vm_tuple] = ctx
+            self._by_nsm_id[ctx.nsm_sock_id] = ctx
+            stack_sock.on_readable = lambda _s: self._pump_udp_rx(ctx)
+            self._respond(nqe, qset, op_data=ctx.nsm_sock_id)
+            return
+        stack_sock = self.stack.socket()
+        ctx = _SocketContext(stack_sock, qset)
+        ctx.vm_tuple = nqe.vm_tuple
+        self._by_vm_tuple[ctx.vm_tuple] = ctx
+        self._by_nsm_id[ctx.nsm_sock_id] = ctx
+        self._install_callbacks(ctx)
+        self._respond(nqe, qset, op_data=ctx.nsm_sock_id)
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    def _op_bind(self, nqe: Nqe, qset: int, core):
+        ctx = self._by_vm_tuple.get(nqe.vm_tuple)
+        if ctx is None:
+            self._respond_errno(nqe, qset, "EBADF")
+            return
+        try:
+            if ctx.kind == "udp":
+                self.stack.udp_bind(ctx.stack_sock, nqe.op_data)
+            else:
+                self.stack.bind(ctx.stack_sock, nqe.op_data)
+            self._respond(nqe, qset, op_data=0)
+        except SocketError as error:
+            self._respond_errno(nqe, qset, error.errno_name)
+        return
+        yield  # pragma: no cover
+
+    def _op_listen(self, nqe: Nqe, qset: int, core):
+        ctx = self._by_vm_tuple.get(nqe.vm_tuple)
+        if ctx is None:
+            self._respond_errno(nqe, qset, "EBADF")
+            return
+        try:
+            self.stack.listen(ctx.stack_sock, nqe.op_data or 128)
+            ctx.is_listener = True
+            self._respond(nqe, qset, op_data=0)
+        except SocketError as error:
+            self._respond_errno(nqe, qset, error.errno_name)
+        return
+        yield  # pragma: no cover
+
+    def _op_connect(self, nqe: Nqe, qset: int, core):
+        ctx = self._by_vm_tuple.get(nqe.vm_tuple)
+        if ctx is None:
+            self._respond_errno(nqe, qset, "EBADF")
+            return
+        remote = (nqe.aux or {}).get("remote")
+        if remote is None:
+            self._respond_errno(nqe, qset, "EINVAL")
+            return
+        sock = ctx.stack_sock
+
+        def on_connected(_sock) -> None:
+            self._respond(nqe, qset, op_data=0)
+
+        def on_error(_sock, errno_name: str) -> None:
+            self._respond_errno(nqe, qset, errno_name)
+
+        sock.on_connected = on_connected
+        sock.on_error = on_error
+        try:
+            self.stack.connect(sock, remote)
+        except SocketError as error:
+            self._respond_errno(nqe, qset, error.errno_name)
+        return
+        yield  # pragma: no cover
+
+    def _op_accept_attach(self, nqe: Nqe, qset: int, core):
+        """The guest attached its socket id to an accepted connection."""
+        ctx = self._by_nsm_id.get(nqe.op_data)
+        if ctx is None:
+            return
+        ctx.vm_tuple = nqe.vm_tuple
+        ctx.qset = qset
+        self._by_vm_tuple[ctx.vm_tuple] = ctx
+        # Data may have arrived before the guest attached: flush it now.
+        self._pump_rx(ctx)
+        return
+        yield  # pragma: no cover
+
+    def _op_setsockopt(self, nqe: Nqe, qset: int, core):
+        # Options are accepted and recorded; the simulated stacks have no
+        # tunables that alter behaviour (SO_REUSEPORT is modelled at the
+        # capacity level in repro.model).
+        self._respond(nqe, qset, op_data=0)
+        return
+        yield  # pragma: no cover
+
+    def _op_close(self, nqe: Nqe, qset: int, core):
+        ctx = self._by_vm_tuple.get(nqe.vm_tuple)
+        if ctx is None:
+            self._respond(nqe, qset, op_data=0, req_op=NqeOp.CLOSE)
+            return
+        ctx.closing = True
+        if ctx.kind == "udp":
+            self.stack.udp_close(ctx.stack_sock)
+            self._by_nsm_id.pop(ctx.nsm_sock_id, None)
+        elif not ctx.pending_tx:
+            self._finish_close(ctx)
+        self._respond(nqe, qset, op_data=0, req_op=NqeOp.CLOSE)
+        self._by_vm_tuple.pop(nqe.vm_tuple, None)
+        return
+        yield  # pragma: no cover
+
+    def _op_shutdown(self, nqe: Nqe, qset: int, core):
+        """Half-close (SHUT_WR): FIN the write side, keep receiving.
+
+        The stack sends its FIN once buffered data drains; the context
+        stays mapped so inbound data keeps flowing to the guest until the
+        peer closes too.
+        """
+        ctx = self._by_vm_tuple.get(nqe.vm_tuple)
+        if ctx is None or ctx.kind == "udp":
+            self._respond_errno(nqe, qset, "EINVAL")
+            return
+        if not ctx.pending_tx:
+            try:
+                self.stack.close(ctx.stack_sock)
+            except SocketError as error:
+                self._respond_errno(nqe, qset, error.errno_name)
+                return
+        else:
+            ctx.closing = True  # FIN goes out when pending bytes drain
+        self._respond(nqe, qset, op_data=0)
+        return
+        yield  # pragma: no cover
+
+    def _finish_close(self, ctx: _SocketContext) -> None:
+        try:
+            self.stack.close(ctx.stack_sock)
+        except SocketError:
+            pass
+        self._by_nsm_id.pop(ctx.nsm_sock_id, None)
+
+    # -- data path ----------------------------------------------------------------------
+
+    def _op_send(self, nqe: Nqe, qset: int, core):
+        region = self._region_for(nqe.vm_id)
+        buffer = region.get(nqe.data_ptr)
+        ctx = self._by_vm_tuple.get(nqe.vm_tuple)
+        if ctx is None or ctx.closing:
+            buffer.free()  # socket gone: drop the payload, no leak
+            return
+        data = buffer.read()
+        buffer.free()
+        # The extra copy from hugepages into the stack (§7.8's overhead).
+        yield core.execute(self.cost.nsm_copy_cycles(len(data)),
+                           "servicelib.send_copy")
+        ctx.pending_tx.append(data)
+        ctx.pending_tx_bytes += len(data)
+        self._flush_tx(ctx, nqe)
+
+    def _flush_tx(self, ctx: _SocketContext, request: Optional[Nqe] = None) -> None:
+        """Push pending bytes into the stack; credit the guest as accepted."""
+        accepted_total = 0
+        while ctx.pending_tx:
+            chunk = ctx.pending_tx[0]
+            try:
+                accepted = self.stack.send(ctx.stack_sock, chunk)
+            except SocketError as error:
+                self._emit_error(ctx, error.errno_name)
+                ctx.pending_tx.clear()
+                ctx.pending_tx_bytes = 0
+                return
+            if accepted == 0:
+                break
+            accepted_total += accepted
+            ctx.pending_tx_bytes -= accepted
+            if accepted < len(chunk):
+                ctx.pending_tx[0] = chunk[accepted:]
+                break
+            ctx.pending_tx.popleft()
+        if accepted_total and ctx.vm_tuple is not None:
+            vm_id, vm_qset, vm_sock = ctx.vm_tuple
+            credit = Nqe(NqeOp.SEND_RESULT, vm_id, vm_qset, vm_sock,
+                         op_data=0, size=accepted_total,
+                         created_at=self.sim.now)
+            self._emit(ctx.qset, credit, event=False)
+        if ctx.closing and not ctx.pending_tx:
+            self._finish_close(ctx)
+
+    def _op_sendto(self, nqe: Nqe, qset: int, core):
+        region = self._region_for(nqe.vm_id)
+        buffer = region.get(nqe.data_ptr)
+        ctx = self._by_vm_tuple.get(nqe.vm_tuple)
+        if ctx is None or ctx.kind != "udp":
+            buffer.free()
+            return
+        data = buffer.read()
+        buffer.free()
+        yield core.execute(self.cost.nsm_copy_cycles(len(data)),
+                           "servicelib.send_copy")
+        dest = (nqe.aux or {}).get("dest")
+        vm_id, vm_qset, vm_sock = ctx.vm_tuple
+        try:
+            self.stack.udp_sendto(ctx.stack_sock, data, dest)
+            credit = Nqe(NqeOp.SEND_RESULT, vm_id, vm_qset, vm_sock,
+                         op_data=0, size=len(data), created_at=self.sim.now)
+        except SocketError as error:
+            code = RESULT_ERRNO.get(error.errno_name, 5)
+            credit = Nqe(NqeOp.SEND_RESULT, vm_id, vm_qset, vm_sock,
+                         op_data=-code, size=len(data),
+                         created_at=self.sim.now)
+        self._emit(ctx.qset, credit, event=False)
+
+    def _pump_udp_rx(self, ctx: _SocketContext) -> None:
+        """Forward queued datagrams to the guest as DATA_ARRIVED events."""
+        if ctx.vm_tuple is None:
+            return
+        vm_id, vm_qset, vm_sock = ctx.vm_tuple
+        core = self.cores[ctx.qset % len(self.cores)]
+        while True:
+            item = self.stack.udp_recvfrom(ctx.stack_sock, 1 << 16)
+            if item is None:
+                return
+            data, source = item
+            buffer = self._region_for(vm_id).try_alloc(len(data))
+            if buffer is None:
+                return  # UDP semantics: drop under memory pressure
+            buffer.write(data)
+            core.charge(self.cost.nsm_copy_cycles(len(data)),
+                        "servicelib.recv_copy")
+            event = Nqe(NqeOp.DATA_ARRIVED, vm_id, vm_qset, vm_sock,
+                        data_ptr=buffer.buffer_id, size=len(data),
+                        aux={"from": source}, created_at=self.sim.now)
+            self._emit(ctx.qset, event, event=True)
+
+    def _op_recv_credit(self, nqe: Nqe, qset: int, core):
+        ctx = self._by_vm_tuple.get(nqe.vm_tuple)
+        if ctx is None:
+            return
+        ctx.rx_window_used = max(0, ctx.rx_window_used - nqe.op_data)
+        self._pump_rx(ctx)
+        return
+        yield  # pragma: no cover
+
+    def _pump_rx(self, ctx: _SocketContext) -> None:
+        """Move received bytes from the stack into hugepages + NQEs."""
+        if ctx.vm_tuple is None:
+            return
+        sock = ctx.stack_sock
+        core = self.cores[ctx.qset % len(self.cores)]
+        vm_id, vm_qset, vm_sock = ctx.vm_tuple
+        while ctx.rx_window_used < self.recv_window_bytes:
+            budget = min(RX_CHUNK,
+                         self.recv_window_bytes - ctx.rx_window_used)
+            data = self.stack.recv(sock, budget)
+            if not data:
+                break
+            buffer = self._region_for(vm_id).try_alloc(len(data))
+            if buffer is None:
+                # Hugepages exhausted: retry once the guest frees buffers.
+                self.sim.call_later(20e-6, lambda: self._pump_rx(ctx))
+                break
+            buffer.write(data)
+            core.charge(self.cost.nsm_copy_cycles(len(data)),
+                        "servicelib.recv_copy")
+            ctx.rx_window_used += len(data)
+            event = Nqe(NqeOp.DATA_ARRIVED, vm_id, vm_qset, vm_sock,
+                        data_ptr=buffer.buffer_id, size=len(data),
+                        created_at=self.sim.now)
+            self._emit(ctx.qset, event, event=True)
+        if getattr(sock, "eof", False) and not ctx.peer_closed_sent:
+            ctx.peer_closed_sent = True
+            event = Nqe(NqeOp.PEER_CLOSED, vm_id, vm_qset, vm_sock,
+                        created_at=self.sim.now)
+            self._emit(ctx.qset, event, event=True)
+
+    def _emit_error(self, ctx: _SocketContext, errno_name: str) -> None:
+        if ctx.vm_tuple is None:
+            return
+        vm_id, vm_qset, vm_sock = ctx.vm_tuple
+        code = RESULT_ERRNO.get(errno_name, 5)
+        event = Nqe(NqeOp.ERROR_EVENT, vm_id, vm_qset, vm_sock,
+                    op_data=-code, created_at=self.sim.now)
+        self._emit(ctx.qset, event, event=True)
+
+    # -- stack callbacks -------------------------------------------------------------------
+
+    def _install_callbacks(self, ctx: _SocketContext) -> None:
+        sock = ctx.stack_sock
+        sock.on_readable = lambda _s: self._pump_rx(ctx)
+        sock.on_writable = lambda _s: self._flush_tx(ctx)
+        sock.on_accept_ready = lambda listener: self._drain_accepts(ctx)
+        sock.on_error = lambda _s, errno: self._emit_error(ctx, errno)
+
+    def _drain_accepts(self, listener_ctx: _SocketContext) -> None:
+        """Pipelined accept (§4.6): take connections from the stack now,
+        announce them to the guest with ACCEPT_EVENT NQEs."""
+        if listener_ctx.vm_tuple is None:
+            return
+        vm_id, vm_qset, vm_sock = listener_ctx.vm_tuple
+        while True:
+            child = self.stack.accept(listener_ctx.stack_sock)
+            if child is None:
+                return
+            ctx = _SocketContext(child, listener_ctx.qset)
+            ctx.listener_ctx = listener_ctx
+            self._by_nsm_id[ctx.nsm_sock_id] = ctx
+            self._install_callbacks(ctx)
+            event = Nqe(NqeOp.ACCEPT_EVENT, vm_id, vm_qset, vm_sock,
+                        op_data=ctx.nsm_sock_id,
+                        aux={"peer": getattr(child, "remote", None)},
+                        created_at=self.sim.now)
+            self._emit(listener_ctx.qset, event, event=True)
+
+    # -- introspection -----------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Lifetime NQE counters and live socket contexts."""
+        return {
+            "nqes_processed": self.nqes_processed,
+            "nqes_emitted": self.nqes_emitted,
+            "live_contexts": len(self._by_nsm_id),
+        }

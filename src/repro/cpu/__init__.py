@@ -1,0 +1,8 @@
+"""CPU substrate: cores as cycle-budget resources plus the calibrated
+cost model that maps NetKernel/stack operations to cycles."""
+
+from repro.cpu.core import Core
+from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.cpu.accounting import CpuAccountant
+
+__all__ = ["Core", "CostModel", "DEFAULT_COST_MODEL", "CpuAccountant"]

@@ -1,0 +1,105 @@
+"""Exception hierarchy for the NetKernel reproduction.
+
+Socket-level failures mirror POSIX errno semantics so that application
+models written against the BSD socket facade can handle errors the way a
+real application would.
+"""
+
+from __future__ import annotations
+
+
+class NetKernelError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SimulationError(NetKernelError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class ResourceError(NetKernelError):
+    """A simulated resource (core, ring, hugepage region) was misused."""
+
+
+class RingFullError(ResourceError):
+    """An SPSC ring has no free slot for the produced element."""
+
+
+class RingEmptyError(ResourceError):
+    """An SPSC ring has no element to consume."""
+
+
+class HugepageExhaustedError(ResourceError):
+    """The hugepage region cannot satisfy an allocation."""
+
+
+class ConfigurationError(NetKernelError):
+    """A host, VM, or NSM was assembled with inconsistent parameters."""
+
+
+class SocketError(NetKernelError):
+    """Base class for BSD-socket-level failures; carries an errno name."""
+
+    errno_name = "EIO"
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.errno_name)
+
+
+class BadFileDescriptorError(SocketError):
+    """EBADF: the fd does not name an open socket."""
+
+    errno_name = "EBADF"
+
+
+class AddressInUseError(SocketError):
+    """EADDRINUSE: bind() to an address already bound."""
+
+    errno_name = "EADDRINUSE"
+
+
+class ConnectionRefusedError_(SocketError):
+    """ECONNREFUSED: no listener at the destination."""
+
+    errno_name = "ECONNREFUSED"
+
+
+class ConnectionResetError_(SocketError):
+    """ECONNRESET: the peer aborted the connection."""
+
+    errno_name = "ECONNRESET"
+
+
+class NotConnectedError(SocketError):
+    """ENOTCONN: operation requires an established connection."""
+
+    errno_name = "ENOTCONN"
+
+
+class AlreadyConnectedError(SocketError):
+    """EISCONN: connect() on an already-connected socket."""
+
+    errno_name = "EISCONN"
+
+
+class InvalidSocketStateError(SocketError):
+    """EINVAL: operation invalid for the socket's current state."""
+
+    errno_name = "EINVAL"
+
+
+class OperationWouldBlockError(SocketError):
+    """EWOULDBLOCK: non-blocking operation cannot complete now."""
+
+    errno_name = "EWOULDBLOCK"
+
+
+class TimeoutError_(SocketError):
+    """ETIMEDOUT: the operation (e.g. connect) timed out."""
+
+    errno_name = "ETIMEDOUT"
+
+
+class MessageTooLargeError(SocketError):
+    """EMSGSIZE: datagram larger than the allowed maximum."""
+
+    errno_name = "EMSGSIZE"

@@ -1,0 +1,12 @@
+"""Experiment runners: one module per paper table/figure.
+
+Each runner returns an :class:`~repro.experiments.report.ExperimentResult`
+holding the regenerated rows/series next to the paper's reported values.
+``repro.experiments.registry`` maps experiment ids ("fig13", "table6", …)
+to runners; the benchmark harness and the examples both go through it.
+"""
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.registry import REGISTRY, run_experiment
+
+__all__ = ["ExperimentResult", "REGISTRY", "run_experiment"]

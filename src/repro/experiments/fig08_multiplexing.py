@@ -1,0 +1,51 @@
+"""Fig. 8 + Table 2: multiplexing bursty AGs onto one NSM (§6.1)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig07_trace import canonical_ags
+from repro.experiments.report import ExperimentResult
+from repro.model import multiplexing as mx
+from repro.trace.ag_trace import generate_fleet
+
+
+def run_fig8() -> ExperimentResult:
+    """Per-core RPS: baseline (4 cores per AG) vs NetKernel (1-core AGs +
+    shared NSM + CoreEngine).  Paper: 12 cores -> 9 cores, +33%/core."""
+    traces = canonical_ags()
+    result = mx.fig8_comparison(traces, provisioned_cores=4)
+    rows = [
+        [minute, round(base, 0), round(nk, 0)]
+        for minute, (base, nk) in enumerate(zip(
+            result["per_core_rps_baseline"],
+            result["per_core_rps_netkernel"]))
+    ]
+    notes = (f"baseline {result['baseline_cores']} cores vs NetKernel "
+             f"{result['netkernel_cores']} cores "
+             f"({result['nsm_cores']}-core NSM + 1 CoreEngine); "
+             f"per-core RPS x{result['per_core_improvement']:.2f} "
+             f"(paper: 12 vs 9 cores, x1.33)")
+    return ExperimentResult(
+        "fig8", "Per-core RPS, baseline vs NetKernel multiplexing",
+        ["minute", "baseline_rps_per_core", "netkernel_rps_per_core"],
+        rows, notes=notes)
+
+
+def run_table2(fleet_size: int = 200, seed: int = 7) -> ExperimentResult:
+    """AG packing on a 32-core machine.  Paper: 16 -> 29 AGs, >40% cores
+    saved, NSM under 60% utilization nearly always."""
+    fleet = generate_fleet(fleet_size, seed=seed)
+    packing = mx.table2_packing(fleet)
+    rows = [
+        ["Total # Cores", 32, 32],
+        ["NSM", 0, packing["nsm_cores"]],
+        ["CoreEngine", 0, packing["coreengine_cores"]],
+        ["# AGs", packing["baseline_ags"], packing["netkernel_ags"]],
+    ]
+    notes = (f"cores saved: {packing['cores_saved_fraction'] * 100:.1f}% "
+             f"(paper: >40%); NSM mean util "
+             f"{packing['nsm_mean_utilization'] * 100:.0f}%, under the 60% "
+             f"limit in {packing['fraction_minutes_under_limit'] * 100:.0f}% "
+             "of minutes")
+    return ExperimentResult(
+        "table2", "AGs per 32-core machine (Baseline vs NetKernel)",
+        ["row", "Baseline", "NetKernel"], rows, notes=notes)

@@ -1,0 +1,128 @@
+"""Fig. 9: VM-level fair bandwidth sharing (use case 2, §6.2).
+
+Two VMs share a bottleneck: VM A is well-behaved with 8 flows; VM B is
+selfish and opens 8, 16, or 24 flows.  Baseline (per-flow CUBIC) lets B
+grab bandwidth proportional to its flow count; NetKernel with the
+VM-level congestion-control NSM (one shared window per VM, each flow
+limited to 1/n of it) keeps the split at 50/50 regardless.
+
+Runs the functional TCP engine packet-by-packet over a shared bottleneck
+link (rates scaled down from the testbed's, which only rescales the
+absolute numbers — the *shares* are what Fig. 9 plots).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.experiments.report import ExperimentResult
+from repro.net.fabric import Network
+from repro.net.link import Link
+from repro.sim.engine import Simulator
+from repro.stack.cc.cubic import CubicCC
+from repro.stack.cc.vmcc import VmCC, VmSharedWindow
+from repro.stack.tcp.engine import TcpEngine
+from repro.units import gbps, mbps, usec
+
+CHUNK = 64 * 1024
+
+
+def _bulk_flows(engine: TcpEngine, count: int, sink: Tuple[str, int]) -> None:
+    """Open ``count`` connections that keep the send buffer full."""
+
+    def keep_full(conn) -> None:
+        while True:
+            accepted = engine.send(conn, b"x" * CHUNK)
+            if accepted < CHUNK:
+                break
+
+    for _ in range(count):
+        conn = engine.socket()
+        conn.on_connected = keep_full
+        conn.on_writable = keep_full
+        engine.connect(conn, sink)
+
+
+#: A 2x MSS keeps packet counts (and wall time) down without changing
+#: the bandwidth shares Fig. 9 is about.
+MSS = 2896
+
+
+def _run_one(selfish_flows: int, vm_level_cc: bool,
+             duration: float = 1.5,
+             bottleneck_bps: float = mbps(300)) -> Tuple[float, float]:
+    """Returns (VM A bytes, VM B bytes) delivered after warmup."""
+    sim = Simulator()
+    network = Network(sim, default_rate_bps=gbps(10),
+                      default_delay_sec=usec(50))
+    network.set_bottleneck(Link(sim, bottleneck_bps, delay_sec=usec(100),
+                                queue_bytes=256 * 1024, name="bottleneck"))
+
+    if vm_level_cc:
+        shared_a, shared_b = VmSharedWindow(MSS), VmSharedWindow(MSS)
+
+        def cc_a(mss):
+            return VmCC(mss, shared=shared_a)
+
+        def cc_b(mss):
+            return VmCC(mss, shared=shared_b)
+    else:
+        def cc_a(mss):
+            return CubicCC(mss, clock=lambda: sim.now)
+
+        cc_b = cc_a
+
+    vm_a = TcpEngine(sim, network, "vmA", cc_factory=cc_a, mss=MSS)
+    vm_b = TcpEngine(sim, network, "vmB", cc_factory=cc_b, mss=MSS)
+    sink_engine = TcpEngine(sim, network, "sink", mss=MSS)
+
+    received: Dict[str, int] = {"vmA": 0, "vmB": 0}
+    warmup = duration / 3.0
+
+    listener = sink_engine.socket()
+    sink_engine.bind(listener, 5001)
+    sink_engine.listen(listener, backlog=128)
+
+    def on_accept(lst) -> None:
+        while True:
+            child = sink_engine.accept(lst)
+            if child is None:
+                return
+            src_host = child.remote[0]
+
+            def drain(conn, src=src_host) -> None:
+                while True:
+                    data = sink_engine.recv(conn, 1 << 20)
+                    if not data:
+                        break
+                    if sim.now >= warmup:
+                        received[src] += len(data)
+
+            child.on_readable = drain
+
+    listener.on_accept_ready = on_accept
+
+    _bulk_flows(vm_a, 8, ("sink", 5001))
+    _bulk_flows(vm_b, selfish_flows, ("sink", 5001))
+    sim.run(until=duration)
+    return float(received["vmA"]), float(received["vmB"])
+
+
+def run(duration: float = 1.5) -> ExperimentResult:
+    """Regenerate Fig. 9: bandwidth shares under a selfish VM."""
+    rows: List[List] = []
+    for ratio, selfish in (("1:1", 8), ("2:1", 16), ("3:1", 24)):
+        base_a, base_b = _run_one(selfish, vm_level_cc=False,
+                                  duration=duration)
+        nk_a, nk_b = _run_one(selfish, vm_level_cc=True, duration=duration)
+        base_share = 100.0 * base_a / (base_a + base_b)
+        nk_share = 100.0 * nk_a / (nk_a + nk_b)
+        rows.append([ratio, selfish, round(base_share, 1),
+                     round(nk_share, 1)])
+    notes = ("VM A's share of aggregate throughput: Baseline degrades "
+             "toward flow-count proportionality (50/33/25%); the VMCC "
+             "NSM holds ~50% regardless — the Fig. 9 result")
+    return ExperimentResult(
+        "fig9", "VM A (8 flows) share vs selfish VM B flow count",
+        ["flows_ratio", "vmB_flows", "baseline_vmA_share_pct",
+         "netkernel_vmA_share_pct"], rows, notes=notes)

@@ -1,0 +1,63 @@
+"""Fig. 11: CoreEngine NQE switching throughput vs batch size.
+
+Two measurements: the calibrated analytic rate, and a *functional* rate
+measured by actually pushing 32-byte-packed NQEs through SPSC rings with
+the CoreEngine batch loop in simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.nqe import Nqe, NqeOp
+from repro.cpu.cost_model import DEFAULT_COST_MODEL
+from repro.experiments.report import ExperimentResult, qualitative
+from repro.mem.ring import SpscRing
+from repro.model.throughput import PAPER, nqe_switch_rate
+
+BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def functional_switch_rate(batch: int, nqes: int = 20_000) -> float:
+    """Switch ``nqes`` elements ring->ring in simulated time.
+
+    Replays CoreEngine's inner loop (pop batch, charge cycles, push) and
+    returns NQEs per simulated second.
+    """
+    cost = DEFAULT_COST_MODEL
+    source = SpscRing(max(batch * 2, 512), name="src")
+    sink = SpscRing(nqes + 1, name="dst")
+    switched = 0
+    sim_time = 0.0
+    remaining = nqes
+    while switched < nqes:
+        while not source.full and remaining > 0:
+            source.push(Nqe(NqeOp.SEND, 1, 0, 1))
+            remaining -= 1
+        moved = source.pop_batch(batch)
+        if not moved:
+            break
+        sim_time += cost.ce_batch_cycles(len(moved)) / cost.core_hz
+        for nqe in moved:
+            # The 32-byte pack/unpack keeps the wire format honest.
+            sink.push(Nqe.unpack(nqe.pack()))
+        switched += len(moved)
+    return switched / sim_time if sim_time > 0 else 0.0
+
+
+def run(batches: Sequence[int] = BATCH_SIZES) -> ExperimentResult:
+    """Regenerate Fig. 11: NQE switching rate vs batch size."""
+    rows = []
+    for batch in batches:
+        analytic = nqe_switch_rate(batch) / 1e6
+        functional = functional_switch_rate(batch, nqes=4_096) / 1e6
+        paper = PAPER["fig11_nqe_rate_millions"][batch]
+        rows.append([batch, round(analytic, 1), round(functional, 1),
+                     paper, qualitative(analytic, paper)])
+    notes = ("monotone rise saturating near 200M NQEs/s, as in the paper; "
+             "mid-range batches deviate because the paper's curve has "
+             "cache effects a two-parameter linear batch-cost model omits")
+    return ExperimentResult(
+        "fig11", "CoreEngine switching throughput vs batch size (M NQEs/s)",
+        ["batch", "model_M", "functional_M", "paper_M", "vs_paper"],
+        rows, notes=notes)

@@ -1,0 +1,10 @@
+"""Fig. 13: single TCP stream send throughput vs message size."""
+
+from repro.experiments.streams import message_size_sweep
+
+
+def run():
+    """Regenerate Fig. 13 (single-stream send)."""
+    return message_size_sweep(
+        "fig13", "Single-stream send throughput (kernel-stack NSM, 1 vCPU)",
+        direction="send", streams=1, paper_top_gbps=30.9)

@@ -1,0 +1,10 @@
+"""Fig. 14: single TCP stream receive throughput vs message size."""
+
+from repro.experiments.streams import message_size_sweep
+
+
+def run():
+    """Regenerate Fig. 14 (single-stream receive)."""
+    return message_size_sweep(
+        "fig14", "Single-stream receive throughput (kernel-stack NSM, 1 vCPU)",
+        direction="recv", streams=1, paper_top_gbps=13.6)

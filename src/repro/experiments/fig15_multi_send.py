@@ -1,0 +1,10 @@
+"""Fig. 15: 8-stream TCP send throughput vs message size."""
+
+from repro.experiments.streams import message_size_sweep
+
+
+def run():
+    """Regenerate Fig. 15 (8-stream send)."""
+    return message_size_sweep(
+        "fig15", "8-stream send throughput (kernel-stack NSM, 1 vCPU)",
+        direction="send", streams=8, paper_top_gbps=55.2)

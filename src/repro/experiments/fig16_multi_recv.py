@@ -1,0 +1,10 @@
+"""Fig. 16: 8-stream TCP receive throughput vs message size."""
+
+from repro.experiments.streams import message_size_sweep
+
+
+def run():
+    """Regenerate Fig. 16 (8-stream receive)."""
+    return message_size_sweep(
+        "fig16", "8-stream receive throughput (kernel-stack NSM, 1 vCPU)",
+        direction="recv", streams=8, paper_top_gbps=17.4)

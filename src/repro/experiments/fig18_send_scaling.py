@@ -1,0 +1,12 @@
+"""Fig. 18: send throughput of 8 streams vs number of vCPUs.
+
+Paper: both systems reach line rate with 3 vCPUs.
+"""
+
+from repro.experiments.streams import vcpu_sweep
+
+
+def run():
+    """Regenerate Fig. 18 (send scaling with vCPUs)."""
+    return vcpu_sweep("fig18", "Send throughput scaling (8 streams, 8KB)",
+                      direction="send")

@@ -1,0 +1,12 @@
+"""Fig. 19: receive throughput of 8 streams vs number of vCPUs.
+
+Paper: both systems reach 91 Gbps with 8 vCPUs.
+"""
+
+from repro.experiments.streams import vcpu_sweep
+
+
+def run():
+    """Regenerate Fig. 19 (receive scaling with vCPUs)."""
+    return vcpu_sweep("fig19", "Receive throughput scaling (8 streams, 8KB)",
+                      direction="recv")

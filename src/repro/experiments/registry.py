@@ -1,0 +1,71 @@
+"""Registry mapping experiment ids to runners.
+
+``run_experiment("fig13")`` regenerates the corresponding paper table or
+figure and returns an :class:`~repro.experiments.report.ExperimentResult`.
+DES-backed experiments accept keyword arguments to trade fidelity for
+runtime (see each module's docstring).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments.report import ExperimentResult
+
+
+def _lazy(module: str, fn: str = "run") -> Callable[..., ExperimentResult]:
+    def runner(**kwargs) -> ExperimentResult:
+        import importlib
+
+        mod = importlib.import_module(f"repro.experiments.{module}")
+        return getattr(mod, fn)(**kwargs)
+
+    runner.__name__ = f"{module}.{fn}"
+    return runner
+
+
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig7": _lazy("fig07_trace"),
+    "fig8": _lazy("fig08_multiplexing", "run_fig8"),
+    "fig9": _lazy("fig09_fairness"),
+    "fig10": _lazy("fig10_shm"),
+    "fig11": _lazy("fig11_nqe_switching"),
+    "fig12": _lazy("fig12_memcopy"),
+    "fig13": _lazy("fig13_single_send"),
+    "fig14": _lazy("fig14_single_recv"),
+    "fig15": _lazy("fig15_multi_send"),
+    "fig16": _lazy("fig16_multi_recv"),
+    "fig17": _lazy("fig17_short_conn"),
+    "fig18": _lazy("fig18_send_scaling"),
+    "fig19": _lazy("fig19_recv_scaling"),
+    "fig20": _lazy("fig20_rps_scaling"),
+    "fig21": _lazy("fig21_isolation"),
+    "table2": _lazy("fig08_multiplexing", "run_table2"),
+    "table3": _lazy("table3_nginx"),
+    "table4": _lazy("table4_nsm_scaling"),
+    "table5": _lazy("table5_latency"),
+    "table6": _lazy("table6_table7_overhead", "run_table6"),
+    "table7": _lazy("table6_table7_overhead", "run_table7"),
+    # Design-choice ablations (DESIGN.md §6).
+    "ablation-batching": _lazy("ablations", "run_batching"),
+    "ablation-polling": _lazy("ablations", "run_polling"),
+    "ablation-pipelining": _lazy("ablations", "run_pipelining"),
+    "ablation-queues": _lazy("ablations", "run_queue_sharing"),
+    "ablation-double-stack": _lazy("ablations", "run_double_stack"),
+}
+
+
+def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id.
+
+    Paper artifacts: "fig7".."fig21" and "table2".."table7".  Design
+    ablations: "ablation-batching", "ablation-polling",
+    "ablation-pipelining", "ablation-queues", "ablation-double-stack".
+    """
+    try:
+        runner = REGISTRY[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; choose from "
+            f"{sorted(REGISTRY)}") from None
+    return runner(**kwargs)

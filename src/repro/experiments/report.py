@@ -1,0 +1,74 @@
+"""Result container + table formatting for experiment runners."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class ExperimentResult:
+    """Rows regenerated for one paper table/figure, plus paper values."""
+
+    def __init__(self, exp_id: str, title: str,
+                 columns: Sequence[str], rows: Sequence[Sequence[Any]],
+                 notes: str = ""):
+        self.exp_id = exp_id
+        self.title = title
+        self.columns = list(columns)
+        self.rows = [list(row) for row in rows]
+        self.notes = notes
+
+    def row_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> List[Any]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def table_str(self) -> str:
+        """A monospace table, the way the bench harness prints it."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                if value == 0:
+                    return "0"
+                if abs(value) >= 1000:
+                    return f"{value:,.0f}"
+                if abs(value) >= 10:
+                    return f"{value:.1f}"
+                return f"{value:.3f}"
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells))
+            if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [
+            f"== {self.exp_id}: {self.title} ==",
+            "  ".join(c.ljust(w) for c, w in zip(self.columns, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ExperimentResult {self.exp_id} rows={len(self.rows)}>"
+
+
+def ratio_check(measured: float, paper: float,
+                tolerance: float = 0.5) -> bool:
+    """True when measured is within ±tolerance (relative) of paper."""
+    if paper == 0:
+        return measured == 0
+    return abs(measured - paper) / abs(paper) <= tolerance
+
+
+def qualitative(measured: float, paper: float) -> str:
+    """A short verdict string for the printed tables."""
+    if paper == 0:
+        return "n/a"
+    delta = (measured - paper) / paper * 100.0
+    return f"{delta:+.0f}%"

@@ -1,0 +1,8 @@
+"""Table 4: scaling a 1-core VM across multiple 2-vCPU kernel NSMs."""
+
+from repro.experiments.streams import nsm_count_sweep
+
+
+def run():
+    """Regenerate Table 4 (NSM-count scaling)."""
+    return nsm_count_sweep()

@@ -1,0 +1,114 @@
+"""Table 5: response-time distribution for short connections (§7.7).
+
+The paper runs ab with 1K concurrency against epoll servers and reports
+min/mean/stddev/median/max response times for Baseline, NetKernel with
+the kernel-stack NSM, and NetKernel with the mTCP NSM.  The key results:
+Baseline and NetKernel are indistinguishable (NQE transmission adds no
+measurable latency), with a heavy tail from SYN drops at overload; the
+mTCP NSM is both faster and dramatically tighter (stddev 0.23 ms vs
+~106 ms).
+
+This is a full functional run: a client VM's load generator connects
+through NetKernel (or the baseline stack) to a server VM's epoll server;
+queueing, accept-backlog overflow, and SYN-retransmission tails all
+emerge from the simulation.  ``requests``/``concurrency`` are scaled
+down from the paper's 5M/1K for runtime; the distribution *shape* is the
+object of interest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.epoll_server import EpollServer
+from repro.apps.load_gen import LoadGenerator
+from repro.baseline.host import BaselineHost
+from repro.core.host import NetKernelHost
+from repro.experiments.report import ExperimentResult
+from repro.net.fabric import Network
+from repro.sim.engine import Simulator
+from repro.units import gbps, usec
+
+
+def _run_netkernel(stack: str, requests: int, concurrency: int) -> Dict:
+    sim = Simulator()
+    network = Network(sim, default_rate_bps=gbps(100),
+                      default_delay_sec=usec(25))
+    host = NetKernelHost(sim, network)
+    server_nsm = host.add_nsm("srv-nsm", vcpus=1, stack=stack)
+    client_nsm = host.add_nsm("cli-nsm", vcpus=2, stack=stack)
+    server_vm = host.add_vm("server", vcpus=1, nsm=server_nsm)
+    client_vm = host.add_vm("client", vcpus=2, nsm=client_nsm)
+
+    server = EpollServer(sim, host.socket_api(server_vm), port=80,
+                         request_size=64, response_size=64,
+                         app_cycles_per_request=2_500.0,
+                         cores=server_vm.cores)
+    server.start(server_vm)
+
+    load = LoadGenerator(sim, host.socket_api(client_vm), ("srv-nsm", 80),
+                         total_requests=requests, concurrency=concurrency)
+    sim.run(until=0.002)  # let the server finish binding
+    load.start(client_vm)
+    sim.run(until=120.0)
+    return load.stats.latency_summary()
+
+
+def _run_baseline(requests: int, concurrency: int) -> Dict:
+    sim = Simulator()
+    network = Network(sim, default_rate_bps=gbps(100),
+                      default_delay_sec=usec(25))
+    host = BaselineHost(sim, network)
+    server_vm = host.add_vm("server", vcpus=1, stack="kernel")
+    client_vm = host.add_vm("client", vcpus=2, stack="kernel")
+
+    server = EpollServer(sim, host.socket_api(server_vm), port=80,
+                         request_size=64, response_size=64,
+                         app_cycles_per_request=2_500.0,
+                         cores=server_vm.cores)
+    server.start(server_vm)
+
+    load = LoadGenerator(sim, host.socket_api(client_vm), ("server", 80),
+                         total_requests=requests, concurrency=concurrency)
+    sim.run(until=0.002)
+    load.start(client_vm)
+    sim.run(until=120.0)
+    return load.stats.latency_summary()
+
+
+PAPER_ROWS = {
+    "Baseline": {"min": 0, "mean": 16, "stddev": 105.6, "median": 2,
+                 "max": 7019},
+    "NetKernel": {"min": 0, "mean": 16, "stddev": 105.9, "median": 2,
+                  "max": 7019},
+    "NetKernel, mTCP NSM": {"min": 3, "mean": 4, "stddev": 0.23,
+                            "median": 4, "max": 11},
+}
+
+
+def run(requests: int = 4_000, concurrency: int = 200) -> ExperimentResult:
+    """Regenerate Table 5: latency distributions (DES)."""
+    measured = {
+        "Baseline": _run_baseline(requests, concurrency),
+        "NetKernel": _run_netkernel("kernel", requests, concurrency),
+        "NetKernel, mTCP NSM": _run_netkernel("mtcp", requests, concurrency),
+    }
+    rows = []
+    for label, summary in measured.items():
+        paper = PAPER_ROWS[label]
+        rows.append([
+            label,
+            round(summary["min"], 2), round(summary["mean"], 2),
+            round(summary["stddev"], 2), round(summary["median"], 2),
+            round(summary["max"], 1),
+            f"{paper['mean']}/{paper['stddev']}/{paper['max']}",
+        ])
+    notes = ("Baseline ≈ NetKernel (NQE path adds no visible latency); "
+             "mTCP NSM is tight and fast (small stddev/max) — the paper's "
+             "qualitative result.  Absolute values differ: we issue "
+             f"{requests} requests at concurrency {concurrency} instead "
+             "of 5M at 1K.")
+    return ExperimentResult(
+        "table5", "Response-time distribution, 64B messages (ms)",
+        ["system", "min", "mean", "stddev", "median", "max",
+         "paper(mean/std/max)"], rows, notes=notes)

@@ -1,0 +1,41 @@
+"""Tables 6 and 7: NetKernel's CPU overhead normalized over Baseline.
+
+Table 6 (bulk throughput, 8 streams x 8KB): the extra hugepage→NSM copy
+grows costlier with load (memory-bandwidth contention), so the ratio
+rises with throughput.  Table 7 (short connections, 64B): per-request
+NQE overhead is small and flat.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, qualitative
+from repro.model import overhead
+
+
+def run_table6() -> ExperimentResult:
+    """Regenerate Table 6: overhead vs throughput."""
+    rows = []
+    for gbps, paper in sorted(overhead.PAPER_TABLE6.items()):
+        measured = overhead.overhead_ratio_throughput(gbps)
+        rows.append([gbps, round(measured, 2), paper,
+                     qualitative(measured, paper)])
+    notes = ("rising-with-throughput shape reproduced (extra copy is "
+             "memory-bandwidth bound); our NQE fixed costs are charged "
+             "conservatively, lifting the low-load end above the paper's")
+    return ExperimentResult(
+        "table6", "Normalized CPU usage vs throughput (NetKernel/Baseline)",
+        ["gbps", "measured", "paper", "vs_paper"], rows, notes=notes)
+
+
+def run_table7() -> ExperimentResult:
+    """Regenerate Table 7: overhead vs request rate."""
+    rows = []
+    for rps, paper in sorted(overhead.PAPER_TABLE7.items()):
+        measured = overhead.overhead_ratio_rps(rps)
+        rows.append([int(rps / 1e3), round(measured, 3), paper,
+                     qualitative(measured, paper)])
+    notes = ("flat, mild overhead (paper: 1.05-1.09; per-request NQE "
+             "costs are small next to connection setup/teardown)")
+    return ExperimentResult(
+        "table7", "Normalized CPU usage vs request rate (NetKernel/Baseline)",
+        ["krps", "measured", "paper", "vs_paper"], rows, notes=notes)

@@ -1,0 +1,7 @@
+"""Shared-memory substrate: SPSC rings (the paper's lockless queues, §3)
+and the hugepage region used for application payload (§4.5)."""
+
+from repro.mem.ring import SpscRing
+from repro.mem.hugepages import HugepageRegion, HugepageBuffer
+
+__all__ = ["SpscRing", "HugepageRegion", "HugepageBuffer"]

@@ -1,0 +1,148 @@
+"""Single-producer single-consumer ring buffer.
+
+The paper's queues are lockless because each is shared between exactly one
+producer and one consumer (§3, "Scalable Lockless Queues").  We model that
+discipline explicitly: a ring is *claimed* by one producer identity and one
+consumer identity, and any second party touching the same end is a bug the
+simulation surfaces immediately rather than a silent race.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.errors import ResourceError, RingEmptyError, RingFullError
+
+
+class SpscRing:
+    """Bounded FIFO with single-producer / single-consumer enforcement."""
+
+    def __init__(self, capacity: int, name: str = "ring"):
+        if capacity < 1:
+            raise ResourceError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._slots: List[Any] = [None] * capacity
+        self._head = 0  # next slot to consume
+        self._tail = 0  # next slot to produce
+        self._count = 0
+        self._producer: Optional[object] = None
+        self._consumer: Optional[object] = None
+        # Lifetime statistics.
+        self.produced = 0
+        self.consumed = 0
+        self.full_rejections = 0
+
+    # -- ownership -----------------------------------------------------------
+
+    def claim_producer(self, owner: object) -> None:
+        """Bind the producing end to ``owner``; rebinding is an error."""
+        if self._producer is not None and self._producer is not owner:
+            raise ResourceError(
+                f"{self.name}: second producer {owner!r} (already "
+                f"{self._producer!r}) — SPSC discipline violated"
+            )
+        self._producer = owner
+
+    def claim_consumer(self, owner: object) -> None:
+        """Bind the consuming end to ``owner``; rebinding is an error."""
+        if self._consumer is not None and self._consumer is not owner:
+            raise ResourceError(
+                f"{self.name}: second consumer {owner!r} (already "
+                f"{self._consumer!r}) — SPSC discipline violated"
+            )
+        self._consumer = owner
+
+    def _check_producer(self, owner: Optional[object]) -> None:
+        if owner is not None:
+            self.claim_producer(owner)
+
+    def _check_consumer(self, owner: Optional[object]) -> None:
+        if owner is not None:
+            self.claim_consumer(owner)
+
+    # -- state ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def empty(self) -> bool:
+        return self._count == 0
+
+    @property
+    def full(self) -> bool:
+        return self._count == self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self._count
+
+    # -- produce ---------------------------------------------------------------
+
+    def try_push(self, item: Any, owner: Optional[object] = None) -> bool:
+        """Push one item; returns False (and counts a rejection) if full."""
+        self._check_producer(owner)
+        if self.full:
+            self.full_rejections += 1
+            return False
+        self._slots[self._tail] = item
+        self._tail = (self._tail + 1) % self.capacity
+        self._count += 1
+        self.produced += 1
+        return True
+
+    def push(self, item: Any, owner: Optional[object] = None) -> None:
+        """Push one item; raises :class:`RingFullError` if full."""
+        if not self.try_push(item, owner):
+            raise RingFullError(f"{self.name} is full ({self.capacity})")
+
+    def push_batch(self, items, owner: Optional[object] = None) -> int:
+        """Push as many of ``items`` as fit; returns how many were pushed."""
+        pushed = 0
+        for item in items:
+            if not self.try_push(item, owner):
+                break
+            pushed += 1
+        return pushed
+
+    # -- consume -----------------------------------------------------------------
+
+    def try_pop(self, owner: Optional[object] = None) -> Any:
+        """Pop the oldest item, or return None when empty."""
+        self._check_consumer(owner)
+        if self.empty:
+            return None
+        item = self._slots[self._head]
+        self._slots[self._head] = None
+        self._head = (self._head + 1) % self.capacity
+        self._count -= 1
+        self.consumed += 1
+        return item
+
+    def pop(self, owner: Optional[object] = None) -> Any:
+        """Pop the oldest item; raises :class:`RingEmptyError` when empty."""
+        self._check_consumer(owner)
+        if self.empty:
+            raise RingEmptyError(f"{self.name} is empty")
+        return self.try_pop(owner)
+
+    def pop_batch(self, max_items: int, owner: Optional[object] = None) -> List[Any]:
+        """Pop up to ``max_items`` items (the paper's batched consumption)."""
+        self._check_consumer(owner)
+        if max_items < 0:
+            raise ResourceError(f"negative batch: {max_items}")
+        batch: List[Any] = []
+        while len(batch) < max_items and not self.empty:
+            batch.append(self.try_pop(owner))
+        return batch
+
+    def peek(self, owner: Optional[object] = None) -> Any:
+        """The oldest item without consuming it, or None when empty."""
+        self._check_consumer(owner)
+        if self.empty:
+            return None
+        return self._slots[self._head]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SpscRing {self.name} {self._count}/{self.capacity}>"

@@ -1,0 +1,61 @@
+"""Closed-loop latency model (the analytic companion to Table 5).
+
+ab is a *closed* system: ``concurrency`` clients each wait for their
+response before issuing the next request.  By Little's law, once the
+server saturates, mean response time is simply concurrency / capacity —
+which is why the paper's Table 5 means follow directly from Fig. 20's
+capacities:
+
+* kernel stack: 1000 / 70K rps  → ~14 ms  (paper mean: 16 ms)
+* mTCP:         1000 / 190K rps → ~5.3 ms (paper mean: 4 ms)
+
+The tail comes from SYN drops at the accept queue: a dropped SYN retries
+after an exponentially backed-off RTO, so the k-th retry completes near
+``rto_initial * (2^k - 1)`` — the 7-second maxima in the paper are ~5
+retries at Linux's 1s initial SYN RTO (our simulator uses a smaller RTO,
+hence proportionally smaller maxima in the DES Table 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.model import throughput as tp
+
+
+def closed_loop_mean_latency(concurrency: int, capacity_rps: float,
+                             base_rtt: float = 100e-6) -> float:
+    """Mean response time of a closed-loop benchmark, seconds."""
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1: {concurrency}")
+    if capacity_rps <= 0:
+        raise ValueError(f"capacity must be positive: {capacity_rps}")
+    # Below saturation the response time is the bare RTT + service time;
+    # at and past saturation Little's law dominates.
+    unloaded = base_rtt + 1.0 / capacity_rps
+    saturated = concurrency / capacity_rps
+    return max(unloaded, saturated)
+
+
+def syn_retry_completion_time(retries: int, rto_initial: float = 1.0) -> float:
+    """When a connection whose SYN dropped ``retries`` times completes."""
+    if retries < 0:
+        raise ValueError(f"negative retries: {retries}")
+    return rto_initial * (2 ** retries - 1)
+
+
+def table5_prediction(concurrency: int = 1000,
+                      cost: CostModel = DEFAULT_COST_MODEL) -> Dict[str, Dict]:
+    """Predicted Table 5 means for the three systems (milliseconds)."""
+    rows = {}
+    for label, arch, stack in (("Baseline", "baseline", "kernel"),
+                               ("NetKernel", "netkernel", "kernel"),
+                               ("NetKernel, mTCP NSM", "netkernel", "mtcp")):
+        capacity = tp.requests_per_second(arch, stack=stack, cost=cost)
+        mean = closed_loop_mean_latency(concurrency, capacity)
+        rows[label] = {
+            "capacity_rps": capacity,
+            "mean_ms": mean * 1e3,
+        }
+    return rows

@@ -1,0 +1,70 @@
+"""Generic pipeline bottleneck solver.
+
+A datapath is a chain of stages; each stage has a per-operation cycle
+cost, a number of cores, and an Amdahl-style contention coefficient.  The
+sustainable operation rate is the minimum stage capacity — the classic
+bottleneck law, which is exactly how the paper reasons about its own
+numbers ("the network stack's scalability limits its multicore
+performance", §7.5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
+
+
+class Stage:
+    """One pipeline stage."""
+
+    def __init__(self, name: str, cycles_per_op: float, cores: int = 1,
+                 alpha: float = 0.0, rate_cap: Optional[float] = None):
+        if cycles_per_op < 0:
+            raise ValueError(f"negative cycles for stage {name}")
+        if cores < 1:
+            raise ValueError(f"stage {name} needs >=1 core")
+        self.name = name
+        self.cycles_per_op = cycles_per_op
+        self.cores = cores
+        self.alpha = alpha
+        #: Optional hard rate cap (ops/sec) independent of CPU, e.g. a NIC.
+        self.rate_cap = rate_cap
+
+    def capacity(self, core_hz: float) -> float:
+        """Maximum operations/second this stage sustains."""
+        if self.cycles_per_op == 0:
+            cpu_rate = float("inf")
+        else:
+            speedup = CostModel.amdahl_speedup(self.cores, self.alpha)
+            cpu_rate = core_hz * speedup / self.cycles_per_op
+        if self.rate_cap is not None:
+            return min(cpu_rate, self.rate_cap)
+        return cpu_rate
+
+
+class PipelineModel:
+    """A chain of stages evaluated against one cost model."""
+
+    def __init__(self, stages: Sequence[Stage],
+                 cost_model: CostModel = DEFAULT_COST_MODEL):
+        if not stages:
+            raise ValueError("pipeline needs >=1 stage")
+        self.stages: List[Stage] = list(stages)
+        self.cost = cost_model
+
+    def throughput_ops(self) -> float:
+        """Sustainable ops/sec: the bottleneck stage's capacity."""
+        return min(stage.capacity(self.cost.core_hz) for stage in self.stages)
+
+    def bottleneck(self) -> Stage:
+        """The stage that limits throughput."""
+        return min(self.stages,
+                   key=lambda stage: stage.capacity(self.cost.core_hz))
+
+    def utilizations(self, offered_ops: float) -> dict:
+        """Per-stage utilization at a given offered load."""
+        return {
+            stage.name: min(1.0, offered_ops / stage.capacity(self.cost.core_hz))
+            for stage in self.stages
+        }

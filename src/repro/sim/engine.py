@@ -1,0 +1,117 @@
+"""The simulator: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.event import AllOf, AnyOf, Event, Timeout
+
+
+class Simulator:
+    """Owns simulated time and processes events in timestamp order.
+
+    Ties are broken by insertion order so the simulation is deterministic.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event creation ----------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events) -> AnyOf:
+        """Composite event: fires when any of ``events`` fires."""
+        return AnyOf(self, list(events))
+
+    def all_of(self, events) -> AllOf:
+        """Composite event: fires when all of ``events`` have fired."""
+        return AllOf(self, list(events))
+
+    def process(self, generator: Generator) -> "Process":
+        """Start a new process running ``generator`` now."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self._now})"
+            )
+        event = self.timeout(when - self._now)
+        event.callbacks.append(lambda _evt: fn())
+        return event
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` after ``delay`` seconds of simulated time."""
+        event = self.timeout(delay)
+        event.callbacks.append(lambda _evt: fn())
+        return event
+
+    # -- scheduling internals -----------------------------------------------
+
+    def _queue_event(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    # -- run loop ------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("step() with no scheduled events")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._process()
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so periodic measurement code
+        sees a full window.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"run(until={until}) is in the past")
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                break
+            self.step()
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` has been processed; return its value.
+
+        ``limit`` bounds the simulated time to protect against deadlock in
+        tests; exceeding it raises :class:`SimulationError`.
+        """
+        while not event.processed:
+            if not self._heap:
+                raise SimulationError("deadlock: event can never trigger")
+            if self._now > limit:
+                raise SimulationError(f"run_until_event exceeded limit {limit}")
+            self.step()
+        return event.value

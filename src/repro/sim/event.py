@@ -1,0 +1,179 @@
+"""Events: the unit of synchronization in the simulator.
+
+An :class:`Event` starts *pending*, is *triggered* with a value (or failed
+with an exception), and then runs its callbacks exactly once.  Processes
+wait on events by yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Callbacks are callables taking the event itself; they run when the
+    simulator processes the event after it has been triggered.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._state = PENDING
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def pending(self) -> bool:
+        return self._state == PENDING
+
+    @property
+    def triggered(self) -> bool:
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._state == PROCESSED
+
+    @property
+    def completed(self) -> bool:
+        """True once the event's occurrence is in the past.
+
+        For ordinary events this is :attr:`triggered`; :class:`Timeout`
+        overrides it, because a timeout is *armed* (triggered) at
+        creation but only occurs when the clock reaches its due time.
+        Composite conditions must use this, not ``triggered``.
+        """
+        return self.triggered
+
+    @property
+    def ok(self) -> bool:
+        """True once triggered successfully (no exception)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self._state = TRIGGERED
+        self._value = value
+        self.sim._queue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters will re-raise it."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._state = TRIGGERED
+        self._exception = exception
+        self.sim._queue_event(self)
+        return self
+
+    def _process(self) -> None:
+        """Run callbacks; called by the simulator loop.
+
+        A *failed* event nobody is waiting on re-raises its exception out
+        of the simulation loop — silent process death would otherwise
+        hide real bugs (the SimPy convention).
+        """
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if self._exception is not None and not callbacks:
+            raise self._exception
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically ``delay`` seconds from now."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._state = TRIGGERED
+        self._value = value
+        sim._queue_event(self, delay=delay)
+
+    @property
+    def completed(self) -> bool:
+        return self.processed
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: List[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.completed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _satisfied(self, done: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._done += 1
+        if self._satisfied(self._done, len(self.events)):
+            self.succeed(self._results())
+
+    def _results(self) -> dict:
+        return {
+            event: event._value
+            for event in self.events
+            if event.completed and event._exception is None
+        }
+
+
+class AnyOf(_Condition):
+    """Triggers when any constituent event triggers."""
+
+    def _satisfied(self, done: int, total: int) -> bool:
+        return done >= 1
+
+
+class AllOf(_Condition):
+    """Triggers when all constituent events have triggered."""
+
+    def _satisfied(self, done: int, total: int) -> bool:
+        return done >= total

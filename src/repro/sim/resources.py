@@ -1,0 +1,117 @@
+"""Shared resources for processes: counted resources and object stores."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, TYPE_CHECKING
+
+from repro.errors import ResourceError
+from repro.sim.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Resource:
+    """A counted resource with FIFO waiters (e.g. a lock with capacity N).
+
+    Usage from a process::
+
+        yield resource.acquire()
+        try:
+            ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):
+        if capacity < 1:
+            raise ResourceError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self) -> Event:
+        """Event that triggers when a unit of the resource is granted."""
+        event = self.sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit; hands it to the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise ResourceError("release() without matching acquire()")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed()
+        else:
+            self.in_use -= 1
+
+
+class Store:
+    """An unbounded-or-bounded FIFO of objects with blocking get/put."""
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ResourceError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Event that triggers once ``item`` has been stored."""
+        event = self.sim.event()
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif not self.full:
+            self.items.append(item)
+            event.succeed()
+        else:
+            event._item = item  # type: ignore[attr-defined]
+            self._putters.append(event)
+        return event
+
+    def get(self) -> Event:
+        """Event that triggers with the oldest stored item."""
+        event = self.sim.event()
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._admit_putter()
+        return item
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.full:
+            putter = self._putters.popleft()
+            self.items.append(putter._item)  # type: ignore[attr-defined]
+            putter.succeed()

@@ -1,0 +1,21 @@
+"""Network stacks.
+
+The functional TCP engine lives in :mod:`repro.stack.tcp`; congestion
+control algorithms in :mod:`repro.stack.cc`.  The kernel- and mTCP-
+flavoured stacks wrap the engine with their respective cost models, and
+the shared-memory stack implements use case 4 (colocated-VM networking
+without TCP processing).
+"""
+
+from repro.stack.base import NetworkStack, StackSocket
+from repro.stack.kernel_stack import KernelStack
+from repro.stack.mtcp_stack import MtcpStack
+from repro.stack.shared_memory_stack import SharedMemoryStack
+
+__all__ = [
+    "NetworkStack",
+    "StackSocket",
+    "KernelStack",
+    "MtcpStack",
+    "SharedMemoryStack",
+]

@@ -1,0 +1,48 @@
+"""Congestion-control interface.
+
+The engine tells the algorithm about ACKs (with RTT samples and ECN
+echoes), fast retransmits, and timeouts; the algorithm exposes a
+congestion window in bytes.  Window units are bytes throughout, with the
+MSS used for increment granularity, matching how the Linux implementations
+behave when expressed in bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Conventional initial window (10 MSS, RFC 6928).
+INITIAL_WINDOW_MSS = 10
+
+
+class CongestionControl:
+    """Base class: fixed window (no reaction) — useful for tests."""
+
+    name = "fixed"
+
+    def __init__(self, mss: int = 1448):
+        if mss < 1:
+            raise ValueError(f"mss must be positive: {mss}")
+        self.mss = mss
+        self.cwnd: float = float(INITIAL_WINDOW_MSS * mss)
+
+    def on_ack(self, acked_bytes: int, rtt: Optional[float] = None,
+               ecn_echo: bool = False) -> None:
+        """New data was cumulatively acknowledged."""
+
+    def on_fast_retransmit(self) -> None:
+        """Triple-duplicate-ACK loss was detected."""
+
+    def on_timeout(self) -> None:
+        """An RTO fired."""
+
+    def on_connection_close(self) -> None:
+        """The owning flow finished (used by shared-state algorithms)."""
+
+    @property
+    def window_bytes(self) -> int:
+        """Current congestion window, floored to at least one MSS."""
+        return max(self.mss, int(self.cwnd))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} cwnd={self.cwnd:.0f}B>"

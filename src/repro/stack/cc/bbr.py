@@ -1,0 +1,78 @@
+"""A simplified BBR (Bottleneck Bandwidth and RTT) congestion control.
+
+The paper cites BBR [19] among the stack improvements an operator could
+roll out as an NSM without tenant involvement.  This model keeps BBR's
+essential behaviour — estimate delivery rate and min-RTT, pace inflight
+to ~2x the bandwidth-delay product, ignore isolated losses — without the
+full state machine (no ProbeRTT clamp scheduling subtleties).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.stack.cc.base import CongestionControl
+
+#: Gain applied to the estimated BDP (BBR's cwnd_gain).
+CWND_GAIN = 2.0
+#: Window for the max-bandwidth filter, in samples.
+BW_FILTER_LEN = 10
+
+
+class BbrCC(CongestionControl):
+    """Rate-estimating congestion control; loss-tolerant by design."""
+
+    name = "bbr"
+    wants_ecn = False
+
+    def __init__(self, mss: int = 1448,
+                 clock=None):
+        super().__init__(mss)
+        self._clock = clock or (lambda: 0.0)
+        self.min_rtt: Optional[float] = None
+        self._bw_samples = []
+        self._last_ack_time: Optional[float] = None
+        self._delivered_since = 0
+
+    @property
+    def bandwidth_estimate(self) -> float:
+        """Max-filtered delivery rate, bytes/second."""
+        return max(self._bw_samples) if self._bw_samples else 0.0
+
+    def on_ack(self, acked_bytes: int, rtt: Optional[float] = None,
+               ecn_echo: bool = False) -> None:
+        if acked_bytes <= 0:
+            return
+        now = self._clock()
+        if rtt is not None and rtt > 0:
+            self.min_rtt = rtt if self.min_rtt is None else min(
+                self.min_rtt, rtt)
+        # Delivery-rate sample: bytes acked per wall-clock interval.
+        if self._last_ack_time is not None:
+            interval = now - self._last_ack_time
+            self._delivered_since += acked_bytes
+            if interval > 1e-6:
+                self._bw_samples.append(self._delivered_since / interval)
+                if len(self._bw_samples) > BW_FILTER_LEN:
+                    self._bw_samples.pop(0)
+                self._delivered_since = 0
+                self._last_ack_time = now
+        else:
+            self._last_ack_time = now
+
+        if self.min_rtt is not None and self.bandwidth_estimate > 0:
+            bdp = self.bandwidth_estimate * self.min_rtt
+            self.cwnd = max(4.0 * self.mss, CWND_GAIN * bdp)
+        else:
+            self.cwnd += acked_bytes  # startup: exponential growth
+
+    def on_fast_retransmit(self) -> None:
+        # BBR does not react to isolated loss; the rate model governs.
+        pass
+
+    def on_timeout(self) -> None:
+        # A full RTO means the model is stale: restart conservatively.
+        self._bw_samples.clear()
+        self._last_ack_time = None
+        self._delivered_since = 0
+        self.cwnd = 4.0 * self.mss

@@ -1,0 +1,94 @@
+"""CUBIC congestion control (the Linux default, used by the paper's
+Baseline and kernel-stack NSM)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.stack.cc.base import CongestionControl
+
+#: CUBIC's scaling constant (RFC 8312).
+C_CUBIC = 0.4
+#: Multiplicative decrease factor.
+BETA_CUBIC = 0.7
+
+
+class CubicCC(CongestionControl):
+    """Window growth is a cubic function of time since the last loss.
+
+    ``clock`` supplies the current simulated time; growth is computed on
+    each ACK, which at simulation packet rates is an accurate
+    approximation of the kernel's HZ-driven update.
+    """
+
+    name = "cubic"
+
+    #: HyStart-style delay threshold: exit slow start once the RTT has
+    #: inflated this much over the minimum (queue build-up detected).
+    HYSTART_RTT_FACTOR = 1.5
+
+    def __init__(self, mss: int = 1448,
+                 clock: Optional[Callable[[], float]] = None):
+        super().__init__(mss)
+        self._clock = clock or (lambda: 0.0)
+        self.ssthresh: float = float("inf")
+        self._w_max: float = self.cwnd
+        self._epoch_start: Optional[float] = None
+        self._k: float = 0.0
+        self._min_rtt: Optional[float] = None
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def _enter_epoch(self, now: float) -> None:
+        self._epoch_start = now
+        w_max_seg = self._w_max / self.mss
+        cwnd_seg = self.cwnd / self.mss
+        delta = max(0.0, w_max_seg - cwnd_seg)
+        self._k = (delta / C_CUBIC) ** (1.0 / 3.0)
+
+    def on_ack(self, acked_bytes: int, rtt: Optional[float] = None,
+               ecn_echo: bool = False) -> None:
+        if acked_bytes <= 0:
+            return
+        if rtt is not None and rtt > 0:
+            self._min_rtt = rtt if self._min_rtt is None else min(
+                self._min_rtt, rtt)
+        if self.in_slow_start:
+            # HyStart: leave slow start on delay inflation instead of
+            # overshooting into a deep loss burst (Linux's behaviour;
+            # without SACK, recovering such a burst is very slow).
+            if (rtt is not None and self._min_rtt is not None
+                    and self.cwnd > 16 * self.mss
+                    and rtt > self._min_rtt * self.HYSTART_RTT_FACTOR):
+                self.ssthresh = self.cwnd
+            else:
+                self.cwnd += acked_bytes
+                return
+        now = self._clock()
+        if self._epoch_start is None:
+            self._enter_epoch(now)
+        t = now - self._epoch_start
+        target_seg = (C_CUBIC * (t - self._k) ** 3 + self._w_max / self.mss)
+        target = target_seg * self.mss
+        if target > self.cwnd:
+            # Converge toward the cubic target within roughly one RTT.
+            self.cwnd += (target - self.cwnd) * min(
+                1.0, acked_bytes / max(self.cwnd, 1.0))
+        else:
+            # TCP-friendly region: grow at least like Reno.
+            self.cwnd += self.mss * acked_bytes / self.cwnd
+
+    def _on_loss(self) -> None:
+        self._w_max = self.cwnd
+        self.ssthresh = max(2.0 * self.mss, self.cwnd * BETA_CUBIC)
+        self._epoch_start = None
+
+    def on_fast_retransmit(self) -> None:
+        self._on_loss()
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self) -> None:
+        self._on_loss()
+        self.cwnd = float(self.mss)

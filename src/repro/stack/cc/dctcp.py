@@ -1,0 +1,71 @@
+"""DCTCP: ECN-fraction-proportional window reduction.
+
+The paper motivates NetKernel partly by how hard DCTCP is to deploy in
+public clouds (§1); with NetKernel it is just another NSM.  Our links mark
+ECN above a queue threshold and the engine echoes marks on ACKs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.stack.cc.base import CongestionControl
+
+#: EWMA gain for the mark fraction estimate (RFC 8257's g).
+DCTCP_G = 1.0 / 16.0
+
+
+class DctcpCC(CongestionControl):
+    """Slow start + additive increase, with cwnd scaled by the smoothed
+    fraction of ECN-marked bytes once per window."""
+
+    name = "dctcp"
+
+    def __init__(self, mss: int = 1448):
+        super().__init__(mss)
+        self.ssthresh: float = float("inf")
+        self.alpha: float = 0.0
+        self._acked_total = 0
+        self._acked_marked = 0
+        self._window_acked = 0.0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, acked_bytes: int, rtt: Optional[float] = None,
+               ecn_echo: bool = False) -> None:
+        if acked_bytes <= 0:
+            return
+        self._acked_total += acked_bytes
+        if ecn_echo:
+            self._acked_marked += acked_bytes
+        self._window_acked += acked_bytes
+
+        if ecn_echo and self.in_slow_start:
+            self.ssthresh = self.cwnd
+
+        if self.in_slow_start:
+            self.cwnd += acked_bytes
+        else:
+            self.cwnd += self.mss * acked_bytes / self.cwnd
+
+        # Once per window: update alpha and apply the DCTCP cut.
+        if self._window_acked >= self.cwnd:
+            fraction = (self._acked_marked / self._acked_total
+                        if self._acked_total else 0.0)
+            self.alpha = (1 - DCTCP_G) * self.alpha + DCTCP_G * fraction
+            if self._acked_marked:
+                self.cwnd = max(self.mss * 2.0,
+                                self.cwnd * (1 - self.alpha / 2.0))
+            self._acked_total = 0
+            self._acked_marked = 0
+            self._window_acked = 0.0
+
+    def on_fast_retransmit(self) -> None:
+        self.ssthresh = max(2.0 * self.mss, self.cwnd / 2.0)
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self) -> None:
+        self.ssthresh = max(2.0 * self.mss, self.cwnd / 2.0)
+        self.cwnd = float(self.mss)

@@ -1,0 +1,40 @@
+"""TCP New Reno congestion control: slow start + AIMD."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.stack.cc.base import CongestionControl
+
+
+class RenoCC(CongestionControl):
+    """Classic slow-start / congestion-avoidance with multiplicative
+    decrease of 1/2 on fast retransmit and window reset on timeout."""
+
+    name = "reno"
+
+    def __init__(self, mss: int = 1448):
+        super().__init__(mss)
+        self.ssthresh: float = float("inf")
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, acked_bytes: int, rtt: Optional[float] = None,
+               ecn_echo: bool = False) -> None:
+        if acked_bytes <= 0:
+            return
+        if self.in_slow_start:
+            self.cwnd += acked_bytes
+        else:
+            # Additive increase: one MSS per window's worth of ACKs.
+            self.cwnd += self.mss * acked_bytes / self.cwnd
+
+    def on_fast_retransmit(self) -> None:
+        self.ssthresh = max(2.0 * self.mss, self.cwnd / 2.0)
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self) -> None:
+        self.ssthresh = max(2.0 * self.mss, self.cwnd / 2.0)
+        self.cwnd = float(self.mss)

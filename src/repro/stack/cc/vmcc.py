@@ -1,0 +1,108 @@
+"""VM-level congestion control (use case 2, §6.2).
+
+The paper's proof of concept: one VM maintains a *global* congestion
+window shared among all its connections; each flow's ACKs advance the
+shared window, and no flow may keep more than 1/n of it in flight (n =
+active flows).  This yields Seawall-style VM-level fairness: a selfish VM
+opening more flows gains nothing.
+
+:class:`VmSharedWindow` is the per-VM shared state an NSM keeps;
+:class:`VmCC` is the per-flow adapter the TCP engine plugs in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.stack.cc.base import CongestionControl, INITIAL_WINDOW_MSS
+
+
+class VmSharedWindow:
+    """The shared AIMD window for every flow of one VM."""
+
+    def __init__(self, mss: int = 1448):
+        if mss < 1:
+            raise ValueError(f"mss must be positive: {mss}")
+        self.mss = mss
+        self.cwnd: float = float(INITIAL_WINDOW_MSS * mss)
+        self.ssthresh: float = float("inf")
+        self._flows: Set["VmCC"] = set()
+
+    @property
+    def active_flows(self) -> int:
+        return max(1, len(self._flows))
+
+    def register(self, flow: "VmCC") -> None:
+        self._flows.add(flow)
+
+    def unregister(self, flow: "VmCC") -> None:
+        self._flows.discard(flow)
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, acked_bytes: int) -> None:
+        """Any flow's ACK advances the shared window."""
+        if acked_bytes <= 0:
+            return
+        if self.in_slow_start:
+            self.cwnd += acked_bytes
+        else:
+            self.cwnd += self.mss * acked_bytes / self.cwnd
+
+    def on_loss(self, timeout: bool = False) -> None:
+        """Any flow's loss halves (or resets) the shared window.
+
+        The floors are deliberately independent of the flow count: the
+        shared window is the congestion-control entity, and a VM must not
+        regain bandwidth simply by opening more flows (the selfish-VM
+        attack Fig. 9 defends against).
+        """
+        self.ssthresh = max(2.0 * self.mss, self.cwnd / 2.0)
+        if timeout:
+            self.cwnd = float(self.mss)
+        else:
+            self.cwnd = self.ssthresh
+
+    def per_flow_window(self) -> float:
+        """Each flow may keep at most 1/n of the shared window in flight."""
+        return self.cwnd / self.active_flows
+
+
+class VmCC(CongestionControl):
+    """Per-flow view over a :class:`VmSharedWindow`."""
+
+    name = "vmcc"
+
+    def __init__(self, mss: int = 1448,
+                 shared: Optional[VmSharedWindow] = None):
+        super().__init__(mss)
+        if shared is None:
+            raise ValueError("VmCC requires the VM's VmSharedWindow")
+        if shared.mss != mss:
+            raise ValueError(
+                f"flow mss {mss} differs from shared window mss {shared.mss}"
+            )
+        self.shared = shared
+        shared.register(self)
+
+    @property
+    def window_bytes(self) -> int:
+        # No per-flow MSS floor: with many flows each slice may be
+        # sub-MSS (the engine then sends small segments), so the VM's
+        # aggregate inflight stays bounded by the one shared window.
+        return max(self.mss // 8, int(self.shared.per_flow_window()))
+
+    def on_ack(self, acked_bytes: int, rtt: Optional[float] = None,
+               ecn_echo: bool = False) -> None:
+        self.shared.on_ack(acked_bytes)
+
+    def on_fast_retransmit(self) -> None:
+        self.shared.on_loss(timeout=False)
+
+    def on_timeout(self) -> None:
+        self.shared.on_loss(timeout=True)
+
+    def on_connection_close(self) -> None:
+        self.shared.unregister(self)

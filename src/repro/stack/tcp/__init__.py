@@ -1,0 +1,14 @@
+"""Functional TCP: control blocks, stream buffers, and the engine."""
+
+from repro.stack.tcp.tcb import TcpState, Segment
+from repro.stack.tcp.buffers import SendBuffer, ReceiveBuffer
+from repro.stack.tcp.engine import TcpEngine, TcpConnection
+
+__all__ = [
+    "TcpState",
+    "Segment",
+    "SendBuffer",
+    "ReceiveBuffer",
+    "TcpEngine",
+    "TcpConnection",
+]

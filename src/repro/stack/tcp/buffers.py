@@ -1,0 +1,157 @@
+"""Send and receive stream buffers.
+
+Both carry real bytes so data integrity can be asserted end to end.  The
+send buffer holds everything written-but-unacked; the receive buffer
+reassembles out-of-order segments and exposes the advertised window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ResourceError
+
+
+class SendBuffer:
+    """Unacked + unsent outbound bytes, addressed relative to SND.UNA."""
+
+    def __init__(self, capacity: int = 4 * 1024 * 1024):
+        if capacity < 1:
+            raise ResourceError(f"send buffer capacity must be >=1: {capacity}")
+        self.capacity = capacity
+        self._data = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - len(self._data)
+
+    def write(self, data: bytes) -> int:
+        """Append up to ``free_space`` bytes; returns how many were taken."""
+        take = min(len(data), self.free_space)
+        if take:
+            self._data.extend(data[:take])
+        return take
+
+    def peek(self, offset: int, length: int) -> bytes:
+        """Bytes at ``offset`` from SND.UNA (for (re)transmission)."""
+        if offset < 0:
+            raise ResourceError(f"negative peek offset: {offset}")
+        return bytes(self._data[offset:offset + length])
+
+    def advance(self, acked: int) -> None:
+        """Drop ``acked`` bytes from the front (cumulative ACK)."""
+        if acked < 0:
+            raise ResourceError(f"negative ack advance: {acked}")
+        if acked > len(self._data):
+            raise ResourceError(
+                f"ack advances past buffered data: {acked} > {len(self._data)}"
+            )
+        del self._data[:acked]
+
+
+class ReceiveBuffer:
+    """In-order delivery queue plus out-of-order reassembly."""
+
+    def __init__(self, capacity: int = 4 * 1024 * 1024, initial_seq: int = 0):
+        if capacity < 1:
+            raise ResourceError(f"recv buffer capacity must be >=1: {capacity}")
+        self.capacity = capacity
+        self.rcv_nxt = initial_seq
+        self._ready = bytearray()
+        self._out_of_order: Dict[int, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._ready)
+
+    @property
+    def window(self) -> int:
+        """Advertised receive window (free space for in-order data)."""
+        pending = len(self._ready) + sum(
+            len(chunk) for chunk in self._out_of_order.values())
+        return max(0, self.capacity - pending)
+
+    def deliver(self, seq: int, data: bytes) -> int:
+        """Accept a data segment; returns bytes newly made ready.
+
+        Segments beyond the window are dropped (the sender respects the
+        advertised window, so overflow indicates loss-recovery overlap and
+        is trimmed, not fatal).  Duplicate and overlapping prefixes are
+        trimmed against ``rcv_nxt``.
+        """
+        if not data:
+            return 0
+        end = seq + len(data)
+        if end <= self.rcv_nxt:
+            return 0  # entirely duplicate
+        if seq < self.rcv_nxt:
+            data = data[self.rcv_nxt - seq:]
+            seq = self.rcv_nxt
+
+        if seq > self.rcv_nxt:
+            # Out of order: stash (bounded by window; beyond it, drop).
+            if len(data) <= self.window and seq not in self._out_of_order:
+                self._out_of_order[seq] = data
+            return 0
+
+        # In order: take what fits the window.
+        take = min(len(data), self.window)
+        if take <= 0:
+            return 0
+        self._ready.extend(data[:take])
+        self.rcv_nxt += take
+        made_ready = take
+        made_ready += self._drain_out_of_order()
+        return made_ready
+
+    def _drain_out_of_order(self) -> int:
+        drained = 0
+        progress = True
+        while progress:
+            progress = False
+            self._purge_stale_out_of_order()
+            if self.rcv_nxt not in self._out_of_order:
+                break
+            chunk = self._out_of_order.pop(self.rcv_nxt)
+            take = min(len(chunk), self.capacity - len(self._ready))
+            if take <= 0:
+                # Window closed mid-drain; put the chunk back.
+                self._out_of_order[self.rcv_nxt] = chunk
+                break
+            self._ready.extend(chunk[:take])
+            self.rcv_nxt += take
+            drained += take
+            progress = True
+            if take < len(chunk):
+                self._out_of_order[self.rcv_nxt] = chunk[take:]
+                break
+        return drained
+
+    def _purge_stale_out_of_order(self) -> None:
+        """Drop or trim stashed segments the cursor has passed.
+
+        Retransmissions at offsets different from the stashed copies can
+        leave chunks whose range is partly or fully below ``rcv_nxt``;
+        without purging they would count against the advertised window
+        forever (a permanent zero-window in long transfers with loss).
+        """
+        for seq in sorted(self._out_of_order):
+            if seq >= self.rcv_nxt:
+                break
+            chunk = self._out_of_order.pop(seq)
+            if seq + len(chunk) > self.rcv_nxt:
+                trimmed = chunk[self.rcv_nxt - seq:]
+                existing = self._out_of_order.get(self.rcv_nxt)
+                if existing is None or len(existing) < len(trimmed):
+                    self._out_of_order[self.rcv_nxt] = trimmed
+
+    def read(self, max_bytes: int) -> bytes:
+        """Consume up to ``max_bytes`` of in-order data."""
+        if max_bytes < 0:
+            raise ResourceError(f"negative read: {max_bytes}")
+        take = min(max_bytes, len(self._ready))
+        data = bytes(self._ready[:take])
+        del self._ready[:take]
+        return data

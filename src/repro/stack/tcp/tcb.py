@@ -1,0 +1,72 @@
+"""TCP connection states and the wire segment."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+Address = Tuple[str, int]
+
+
+class TcpState(enum.Enum):
+    """The subset of RFC 793 states the simplified engine uses."""
+
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn_sent"
+    SYN_RCVD = "syn_rcvd"
+    ESTABLISHED = "established"
+    FIN_WAIT = "fin_wait"      # we sent FIN, awaiting its ACK / peer FIN
+    CLOSE_WAIT = "close_wait"  # peer sent FIN, we have not closed yet
+    LAST_ACK = "last_ack"      # peer FIN'd, we sent our FIN, awaiting ACK
+    TIME_WAIT = "time_wait"
+
+
+class Segment:
+    """A TCP segment: flags, sequence space, window, and real payload."""
+
+    __slots__ = ("seq", "ack", "syn", "fin", "rst", "is_ack", "window",
+                 "payload", "ecn_echo", "ts", "ts_echo")
+
+    def __init__(self, seq: int = 0, ack: int = 0, syn: bool = False,
+                 fin: bool = False, rst: bool = False, is_ack: bool = False,
+                 window: int = 65535, payload: bytes = b"",
+                 ecn_echo: bool = False, ts: Optional[float] = None,
+                 ts_echo: Optional[float] = None):
+        self.seq = seq
+        self.ack = ack
+        self.syn = syn
+        self.fin = fin
+        self.rst = rst
+        self.is_ack = is_ack
+        self.window = window
+        self.payload = payload
+        self.ecn_echo = ecn_echo
+        #: Send timestamp (the timestamp option's TSval).
+        self.ts = ts
+        #: Echoed peer timestamp (TSecr), used for RTT sampling.
+        self.ts_echo = ts_echo
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+    @property
+    def seq_space(self) -> int:
+        """Sequence numbers this segment occupies (payload + SYN/FIN)."""
+        return len(self.payload) + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    def flags_str(self) -> str:
+        flags = []
+        if self.syn:
+            flags.append("SYN")
+        if self.fin:
+            flags.append("FIN")
+        if self.rst:
+            flags.append("RST")
+        if self.is_ack:
+            flags.append("ACK")
+        return "|".join(flags) or "DATA"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Seg {self.flags_str()} seq={self.seq} ack={self.ack} "
+                f"len={len(self.payload)}>")

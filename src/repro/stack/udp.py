@@ -1,0 +1,171 @@
+"""UDP: the datagram half of the stack (SOCK_DGRAM in Table 1).
+
+GuestLib rewrites UDP sockets exactly like TCP ones (§4.1 lists both
+SOCK_STREAM and SOCK_DGRAM); the stack side is this thin connectionless
+layer sharing the TCP engine's fabric endpoint.  Datagrams are unreliable
+and unordered end to end: a full receive buffer *drops*, nothing
+retransmits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.errors import (
+    AddressInUseError,
+    BadFileDescriptorError,
+    InvalidSocketStateError,
+    MessageTooLargeError,
+)
+from repro.net.packet import Packet
+
+Address = Tuple[str, int]
+
+#: Classic UDP maximum payload.
+MAX_DATAGRAM = 65_507
+#: Ephemeral port range for unbound senders (distinct from TCP's).
+UDP_EPHEMERAL_BASE = 40_000
+
+# Per-datagram CPU costs (cycles); UDP skips connection state and most of
+# TCP's bookkeeping, so both directions are far cheaper than TCP's.
+UDP_TX_FIXED = 380.0
+UDP_TX_PER_BYTE = 0.28
+UDP_RX_FIXED = 900.0
+UDP_RX_PER_BYTE = 0.55
+
+
+class UdpDatagram:
+    """Wire payload distinguishing UDP packets from TCP segments."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes):
+        self.data = data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class UdpSocket:
+    """One datagram endpoint."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, layer: "UdpLayer"):
+        self.layer = layer
+        self.sock_id = next(self._ids)
+        self.port: Optional[int] = None
+        self.closed = False
+        #: Received (payload, source address) pairs, FIFO.
+        self.rx: Deque[Tuple[bytes, Address]] = deque()
+        self.rx_bytes = 0
+        self.rx_capacity = 256 * 1024
+        self.on_readable: Optional[Callable[["UdpSocket"], None]] = None
+        # Statistics.
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+        self.datagrams_dropped = 0
+
+    @property
+    def readable_bytes(self) -> int:
+        return self.rx_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<UdpSocket port={self.port}>"
+
+
+class UdpLayer:
+    """Connectionless datagram service sharing a host's fabric endpoint.
+
+    Attach to a :class:`~repro.stack.tcp.engine.TcpEngine`; the engine
+    hands packets whose payload is a :class:`UdpDatagram` to
+    :meth:`handle_packet`.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.sim = engine.sim
+        self.host_id = engine.host_id
+        self._by_port: Dict[int, UdpSocket] = {}
+        self._next_port = UDP_EPHEMERAL_BASE
+        engine.udp = self
+        # Statistics.
+        self.datagrams_out = 0
+        self.datagrams_in = 0
+        self.unroutable = 0
+
+    # -- socket API ---------------------------------------------------------
+
+    def socket(self) -> UdpSocket:
+        return UdpSocket(self)
+
+    def bind(self, sock: UdpSocket, port: int) -> None:
+        if sock.port is not None:
+            raise InvalidSocketStateError("UDP socket already bound")
+        if port in self._by_port:
+            raise AddressInUseError(f"UDP port {port} in use")
+        sock.port = port
+        self._by_port[port] = sock
+
+    def _autobind(self, sock: UdpSocket) -> None:
+        while self._next_port in self._by_port:
+            self._next_port += 1
+        self.bind(sock, self._next_port)
+        self._next_port += 1
+
+    def sendto(self, sock: UdpSocket, data: bytes, dest: Address) -> int:
+        """Fire one datagram at ``dest``; returns len(data)."""
+        if sock.closed:
+            raise BadFileDescriptorError("sendto on closed UDP socket")
+        if len(data) > MAX_DATAGRAM:
+            raise MessageTooLargeError(
+                f"datagram of {len(data)} B exceeds {MAX_DATAGRAM}")
+        if sock.port is None:
+            self._autobind(sock)
+        self.engine._charge(UDP_TX_FIXED + len(data) * UDP_TX_PER_BYTE,
+                            "udp_tx")
+        packet = Packet(src=(self.host_id, sock.port), dst=dest,
+                        payload_bytes=len(data),
+                        segment=UdpDatagram(bytes(data)))
+        sock.datagrams_sent += 1
+        self.datagrams_out += 1
+        self.engine.network.send(packet)
+        return len(data)
+
+    def recvfrom(self, sock: UdpSocket,
+                 max_bytes: int) -> Optional[Tuple[bytes, Address]]:
+        """Pop one datagram (truncated to ``max_bytes``), or None."""
+        if not sock.rx:
+            return None
+        data, src = sock.rx.popleft()
+        sock.rx_bytes -= len(data)
+        return data[:max_bytes], src
+
+    def close(self, sock: UdpSocket) -> None:
+        if sock.port is not None:
+            self._by_port.pop(sock.port, None)
+        sock.closed = True
+        sock.rx.clear()
+        sock.rx_bytes = 0
+
+    # -- ingress ---------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet) -> None:
+        datagram: UdpDatagram = packet.segment
+        self.engine._charge(
+            UDP_RX_FIXED + len(datagram) * UDP_RX_PER_BYTE, "udp_rx")
+        sock = self._by_port.get(packet.dst[1])
+        if sock is None or sock.closed:
+            self.unroutable += 1  # UDP: silently dropped (no ICMP model)
+            return
+        if sock.rx_bytes + len(datagram) > sock.rx_capacity:
+            sock.datagrams_dropped += 1  # buffer full: drop, never block
+            return
+        sock.rx.append((datagram.data, packet.src))
+        sock.rx_bytes += len(datagram)
+        sock.datagrams_received += 1
+        self.datagrams_in += 1
+        if sock.on_readable:
+            sock.on_readable(sock)

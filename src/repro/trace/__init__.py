@@ -1,0 +1,5 @@
+"""Synthetic traces standing in for the paper's proprietary cloud data."""
+
+from repro.trace.ag_trace import AgTrace, generate_ag_trace, generate_fleet
+
+__all__ = ["AgTrace", "generate_ag_trace", "generate_fleet"]

@@ -1,0 +1,184 @@
+"""Tests for the baseline (stack-in-guest) architecture."""
+
+import pytest
+
+from repro.baseline.host import BaselineHost
+from repro.errors import ConfigurationError, SocketError
+from repro.net.fabric import Network
+from repro.sim import Simulator
+from repro.units import gbps, usec
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    network = Network(sim, default_rate_bps=gbps(10),
+                      default_delay_sec=usec(25))
+    return sim, BaselineHost(sim, network)
+
+
+class TestBaselineHost:
+    def test_duplicate_vm_rejected(self, env):
+        _, host = env
+        host.add_vm("vm1")
+        with pytest.raises(ConfigurationError):
+            host.add_vm("vm1")
+
+    def test_unknown_stack_rejected(self, env):
+        _, host = env
+        with pytest.raises(ConfigurationError):
+            host.add_vm("vm1", stack="exotic")
+
+    def test_transfer_integrity(self, env):
+        sim, host = env
+        server_vm = host.add_vm("server", vcpus=1)
+        client_vm = host.add_vm("client", vcpus=1)
+        api_s = host.socket_api(server_vm)
+        api_c = host.socket_api(client_vm)
+        payload = bytes(i % 253 for i in range(150_000))
+        result = {}
+
+        def server():
+            listener = yield from api_s.socket()
+            yield from api_s.bind(listener, 80)
+            yield from api_s.listen(listener)
+            conn = yield from api_s.accept(listener)
+            data = bytearray()
+            while True:
+                chunk = yield from api_s.recv(conn, 65536)
+                if not chunk:
+                    break
+                data.extend(chunk)
+            result["data"] = bytes(data)
+
+        def client():
+            yield sim.timeout(0.0005)
+            sock = yield from api_c.socket()
+            yield from api_c.connect(sock, ("server", 80))
+            yield from api_c.send(sock, payload)
+            yield from api_c.close(sock)
+
+        server_vm.spawn(server())
+        client_vm.spawn(client())
+        sim.run(until=10.0)
+        assert result["data"] == payload
+
+    def test_connect_refused_surfaces(self, env):
+        sim, host = env
+        vm_a = host.add_vm("a", vcpus=1)
+        host.add_vm("b", vcpus=1)
+        api = host.socket_api(vm_a)
+        outcome = {}
+
+        def client():
+            sock = yield from api.socket()
+            try:
+                yield from api.connect(sock, ("b", 12345))
+            except SocketError as error:
+                outcome["errno"] = error.errno_name
+
+        vm_a.spawn(client())
+        sim.run(until=5.0)
+        assert outcome["errno"] == "ECONNREFUSED"
+
+    def test_request_response_roundtrip(self, env):
+        sim, host = env
+        server_vm = host.add_vm("server", vcpus=1)
+        client_vm = host.add_vm("client", vcpus=1)
+        api_s = host.socket_api(server_vm)
+        api_c = host.socket_api(client_vm)
+        result = {}
+
+        def server():
+            listener = yield from api_s.socket()
+            yield from api_s.bind(listener, 80)
+            yield from api_s.listen(listener)
+            conn = yield from api_s.accept(listener)
+            request = yield from api_s.recv(conn, 1024)
+            yield from api_s.send(conn, b"re:" + request)
+            yield from api_s.close(conn)
+
+        def client():
+            yield sim.timeout(0.0005)
+            sock = yield from api_c.socket()
+            yield from api_c.connect(sock, ("server", 80))
+            yield from api_c.send(sock, b"ping")
+            result["reply"] = yield from api_c.recv(sock, 1024)
+            yield from api_c.close(sock)
+
+        server_vm.spawn(server())
+        client_vm.spawn(client())
+        sim.run(until=5.0)
+        assert result["reply"] == b"re:ping"
+
+    def test_stack_work_charged_to_vm_cores(self, env):
+        sim, host = env
+        server_vm = host.add_vm("server", vcpus=1)
+        client_vm = host.add_vm("client", vcpus=1)
+        api_s = host.socket_api(server_vm)
+        api_c = host.socket_api(client_vm)
+
+        def server():
+            listener = yield from api_s.socket()
+            yield from api_s.bind(listener, 80)
+            yield from api_s.listen(listener)
+            conn = yield from api_s.accept(listener)
+            while True:
+                chunk = yield from api_s.recv(conn, 65536)
+                if not chunk:
+                    break
+
+        def client():
+            yield sim.timeout(0.0005)
+            sock = yield from api_c.socket()
+            yield from api_c.connect(sock, ("server", 80))
+            yield from api_c.send(sock, b"w" * 100_000)
+            yield from api_c.close(sock)
+
+        server_vm.spawn(server())
+        client_vm.spawn(client())
+        sim.run(until=5.0)
+        cycles = host.cycles_by_role()
+        assert cycles["vms"] > 0
+        assert cycles["nsms"] == 0
+        assert cycles["coreengine"] == 0
+        components = server_vm.cores[0].busy_by_component
+        assert any(key.startswith("kernel.") for key in components)
+
+    def test_nic_rate_cap_limits_throughput(self, env):
+        sim, host = env
+        from repro.units import mbps
+
+        server_vm = host.add_vm("server", vcpus=1)
+        client_vm = host.add_vm("client", vcpus=1, nic_rate_bps=mbps(10))
+        api_s = host.socket_api(server_vm)
+        api_c = host.socket_api(client_vm)
+        got = {"bytes": 0}
+
+        def server():
+            listener = yield from api_s.socket()
+            yield from api_s.bind(listener, 80)
+            yield from api_s.listen(listener)
+            conn = yield from api_s.accept(listener)
+            while True:
+                chunk = yield from api_s.recv(conn, 65536)
+                if not chunk:
+                    break
+                got["bytes"] += len(chunk)
+
+        def client():
+            yield sim.timeout(0.0005)
+            sock = yield from api_c.socket()
+            yield from api_c.connect(sock, ("server", 80))
+            deadline = sim.now + 1.0
+            while sim.now < deadline:
+                yield from api_c.send(sock, b"r" * 8192)
+            yield from api_c.close(sock)
+
+        server_vm.spawn(server())
+        client_vm.spawn(client())
+        sim.run(until=3.0)
+        # The client buffers ahead, but delivery is capped at 10 Mbps
+        # for the whole 3s window (plus queue slack).
+        assert got["bytes"] * 8 <= 10e6 * 3.3
+        assert got["bytes"] * 8 >= 4e6

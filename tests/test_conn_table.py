@@ -1,0 +1,82 @@
+"""Tests for CoreEngine's connection table (Fig. 6 semantics)."""
+
+import pytest
+
+from repro.core.conn_table import ConnectionTable, ConnectionTableError
+
+
+class TestConnectionTable:
+    def test_insert_then_complete_flow(self):
+        table = ConnectionTable()
+        vm_tuple = (1, 0, 42)
+        entry = table.insert(vm_tuple, nsm_id=7, nsm_queue_set=2)
+        assert not entry.complete
+        assert table.lookup_vm(vm_tuple) is entry
+        assert table.lookup_nsm((7, 2, 55)) is None
+
+        table.complete(vm_tuple, nsm_socket_id=55)
+        assert entry.complete
+        assert entry.nsm_tuple == (7, 2, 55)
+        assert table.lookup_nsm((7, 2, 55)) is entry
+
+    def test_duplicate_vm_tuple_rejected(self):
+        table = ConnectionTable()
+        table.insert((1, 0, 1), 1, 0)
+        with pytest.raises(ConnectionTableError):
+            table.insert((1, 0, 1), 1, 0)
+
+    def test_complete_unknown_tuple_rejected(self):
+        table = ConnectionTable()
+        with pytest.raises(ConnectionTableError):
+            table.complete((9, 9, 9), 1)
+
+    def test_complete_twice_same_id_is_idempotent(self):
+        table = ConnectionTable()
+        table.insert((1, 0, 1), 1, 0)
+        table.complete((1, 0, 1), 10)
+        table.complete((1, 0, 1), 10)  # no error
+
+    def test_complete_conflicting_id_rejected(self):
+        table = ConnectionTable()
+        table.insert((1, 0, 1), 1, 0)
+        table.complete((1, 0, 1), 10)
+        with pytest.raises(ConnectionTableError):
+            table.complete((1, 0, 1), 11)
+
+    def test_remove_cleans_both_directions(self):
+        table = ConnectionTable()
+        table.insert((1, 0, 1), 1, 0)
+        table.complete((1, 0, 1), 10)
+        table.remove_vm((1, 0, 1))
+        assert table.lookup_vm((1, 0, 1)) is None
+        assert table.lookup_nsm((1, 0, 10)) is None
+        assert len(table) == 0
+
+    def test_remove_unknown_is_noop(self):
+        table = ConnectionTable()
+        table.remove_vm((5, 5, 5))  # silently ignored
+
+    def test_one_nsm_serves_many_vms(self):
+        """The multiplexing property: same NSM, distinct tuples."""
+        table = ConnectionTable()
+        for vm in range(1, 6):
+            table.insert((vm, 0, 1), nsm_id=1, nsm_queue_set=0)
+            table.complete((vm, 0, 1), nsm_socket_id=100 + vm)
+        assert len(table) == 5
+        for vm in range(1, 6):
+            assert table.lookup_nsm((1, 0, 100 + vm)).vm_tuple == (vm, 0, 1)
+
+    def test_entries_for_vm(self):
+        table = ConnectionTable()
+        table.insert((1, 0, 1), 1, 0)
+        table.insert((1, 0, 2), 1, 0)
+        table.insert((2, 0, 1), 1, 0)
+        assert len(table.entries_for_vm(1)) == 2
+        assert len(table.entries_for_vm(2)) == 1
+
+    def test_counters(self):
+        table = ConnectionTable()
+        table.insert((1, 0, 1), 1, 0)
+        table.remove_vm((1, 0, 1))
+        assert table.inserted == 1
+        assert table.removed == 1

@@ -1,0 +1,202 @@
+"""Failure injection: packet loss, VM teardown, and queue overflow
+through the full NetKernel path."""
+
+import pytest
+
+from repro.core.host import NetKernelHost
+from repro.errors import SocketError
+from repro.net.fabric import Network
+from repro.net.link import Link
+from repro.sim import Simulator
+from repro.stack.tcp.engine import TcpEngine
+from repro.units import gbps, mbps, usec
+
+
+class TestLossyFabric:
+    def test_transfer_survives_loss_through_netkernel(self):
+        """2% random loss on the fabric: TCP inside the NSM recovers and
+        the application bytes arrive intact."""
+        sim = Simulator()
+        network = Network(sim, default_rate_bps=mbps(200),
+                          default_delay_sec=usec(50))
+        network.set_bottleneck(Link(sim, mbps(200), delay_sec=usec(50),
+                                    loss_rate=0.02, seed=17))
+        host = NetKernelHost(sim, network)
+        nsm_s = host.add_nsm("nsmS", vcpus=1, stack="kernel")
+        nsm_c = host.add_nsm("nsmC", vcpus=1, stack="kernel")
+        server_vm = host.add_vm("srv", vcpus=1, nsm=nsm_s)
+        client_vm = host.add_vm("cli", vcpus=1, nsm=nsm_c)
+        api_s, api_c = host.socket_api(server_vm), host.socket_api(client_vm)
+        payload = bytes(i % 249 for i in range(150_000))
+        result = {}
+
+        def server():
+            listener = yield from api_s.socket()
+            yield from api_s.bind(listener, 80)
+            yield from api_s.listen(listener)
+            conn = yield from api_s.accept(listener)
+            data = bytearray()
+            while True:
+                chunk = yield from api_s.recv(conn, 65536)
+                if not chunk:
+                    break
+                data.extend(chunk)
+            result["data"] = bytes(data)
+
+        def client():
+            yield sim.timeout(0.001)
+            sock = yield from api_c.socket()
+            yield from api_c.connect(sock, ("nsmS", 80))
+            yield from api_c.send(sock, payload)
+            yield from api_c.close(sock)
+
+        server_vm.spawn(server())
+        client_vm.spawn(client())
+        sim.run(until=60.0)
+        assert result["data"] == payload
+        retx = sum(c.retransmissions
+                   for c in nsm_c.stack.engine.connections())
+        # Connections may already be closed; check engine-wide counters.
+        assert nsm_c.stack.engine.segments_sent > 0
+
+    def test_udp_loss_is_silent(self):
+        """Datagrams lost on the wire simply never arrive — no recovery,
+        no error (UDP semantics)."""
+        sim = Simulator()
+        network = Network(sim, default_rate_bps=gbps(1),
+                          default_delay_sec=usec(50))
+        network.set_bottleneck(Link(sim, gbps(1), delay_sec=usec(50),
+                                    loss_rate=0.5, seed=3))
+        host = NetKernelHost(sim, network)
+        nsm_s = host.add_nsm("nsmS", vcpus=1, stack="kernel")
+        nsm_c = host.add_nsm("nsmC", vcpus=1, stack="kernel")
+        server_vm = host.add_vm("srv", vcpus=1, nsm=nsm_s)
+        client_vm = host.add_vm("cli", vcpus=1, nsm=nsm_c)
+        api_s, api_c = host.socket_api(server_vm), host.socket_api(client_vm)
+        got = []
+
+        def server():
+            sock = yield from api_s.socket(sock_type="dgram")
+            yield from api_s.bind(sock, 5353)
+            while True:
+                data, _src = yield from api_s.recvfrom(sock, 1024)
+                got.append(data)
+
+        def client():
+            yield sim.timeout(0.001)
+            sock = yield from api_c.socket(sock_type="dgram")
+            for index in range(40):
+                yield from api_c.sendto(sock, bytes([index]) * 32,
+                                        ("nsmS", 5353))
+                yield sim.timeout(0.0005)
+
+        server_vm.spawn(server())
+        client_vm.spawn(client())
+        sim.run(until=5.0)
+        assert 0 < len(got) < 40  # some lost, some delivered, no crash
+
+
+class TestTeardown:
+    def test_remove_vm_releases_resources(self):
+        sim = Simulator()
+        host = NetKernelHost(sim, Network(sim, default_rate_bps=gbps(10),
+                                          default_delay_sec=usec(25)))
+        nsm = host.add_nsm("nsm0", vcpus=1, stack="kernel")
+        vm = host.add_vm("vm1", vcpus=1, nsm=nsm)
+        api = host.socket_api(vm)
+
+        def app():
+            sock = yield from api.socket()
+            yield from api.bind(sock, 80)
+            yield from api.listen(sock)
+
+        vm.spawn(app())
+        sim.run(until=0.1)
+        assert len(host.coreengine.table) == 1
+        host.remove_vm(vm)
+        assert len(host.coreengine.table) == 0
+        assert "vm1" not in host.vms
+
+    def test_peer_vm_disappearing_mid_connection(self):
+        """Kill the client VM mid-transfer: the server's connection must
+        eventually error or close rather than wedge the simulation."""
+        sim = Simulator()
+        host = NetKernelHost(sim, Network(sim, default_rate_bps=gbps(10),
+                                          default_delay_sec=usec(25)))
+        nsm = host.add_nsm("nsm0", vcpus=1, stack="kernel")
+        server_vm = host.add_vm("srv", vcpus=1, nsm=nsm)
+        client_vm = host.add_vm("cli", vcpus=1, nsm=nsm)
+        api_s = host.socket_api(server_vm)
+        api_c = host.socket_api(client_vm)
+        state = {}
+
+        def server():
+            listener = yield from api_s.socket()
+            yield from api_s.bind(listener, 80)
+            yield from api_s.listen(listener)
+            conn = yield from api_s.accept(listener)
+            state["accepted"] = True
+            try:
+                while True:
+                    data = yield from api_s.recv(conn, 65536)
+                    if not data:
+                        state["eof"] = True
+                        break
+            except SocketError as error:
+                state["errno"] = error.errno_name
+
+        def client():
+            yield sim.timeout(0.001)
+            sock = yield from api_c.socket()
+            yield from api_c.connect(sock, ("nsm0", 80))
+            yield from api_c.send(sock, b"x" * 1000)
+            yield sim.timeout(0.01)
+            host.remove_vm(client_vm)
+
+        server_vm.spawn(server())
+        client_vm.spawn(client())
+        sim.run(until=5.0)
+        assert state.get("accepted")
+        # The server saw either a clean EOF (if close raced ahead) or an
+        # error; the run itself completed without deadlock.
+
+
+class TestRingOverflow:
+    def test_tiny_rings_still_deliver_correctly(self):
+        """4-slot rings force constant CoreEngine backpressure; the
+        transfer must still complete byte-perfect."""
+        sim = Simulator()
+        host = NetKernelHost(sim, Network(sim, default_rate_bps=gbps(10),
+                                          default_delay_sec=usec(25)))
+        host.coreengine.ring_slots = 4
+        nsm = host.add_nsm("nsm0", vcpus=1, stack="kernel")
+        server_vm = host.add_vm("srv", vcpus=1, nsm=nsm)
+        client_vm = host.add_vm("cli", vcpus=1, nsm=nsm)
+        api_s, api_c = host.socket_api(server_vm), host.socket_api(client_vm)
+        payload = bytes(i % 251 for i in range(100_000))
+        result = {}
+
+        def server():
+            listener = yield from api_s.socket()
+            yield from api_s.bind(listener, 80)
+            yield from api_s.listen(listener)
+            conn = yield from api_s.accept(listener)
+            data = bytearray()
+            while True:
+                chunk = yield from api_s.recv(conn, 65536)
+                if not chunk:
+                    break
+                data.extend(chunk)
+            result["data"] = bytes(data)
+
+        def client():
+            yield sim.timeout(0.001)
+            sock = yield from api_c.socket()
+            yield from api_c.connect(sock, ("nsm0", 80))
+            yield from api_c.send(sock, payload)
+            yield from api_c.close(sock)
+
+        server_vm.spawn(server())
+        client_vm.spawn(client())
+        sim.run(until=30.0)
+        assert result["data"] == payload

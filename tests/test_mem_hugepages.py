@@ -1,0 +1,90 @@
+"""Tests for the hugepage region allocator."""
+
+import pytest
+
+from repro.errors import HugepageExhaustedError, ResourceError
+from repro.mem.hugepages import DEFAULT_PAGE_COUNT, PAGE_SIZE, HugepageRegion
+
+
+class TestAllocation:
+    def test_paper_configuration(self):
+        region = HugepageRegion()
+        assert region.capacity == DEFAULT_PAGE_COUNT * PAGE_SIZE
+        assert PAGE_SIZE == 2 * 1024 * 1024
+        assert DEFAULT_PAGE_COUNT == 128
+
+    def test_alloc_free_roundtrip(self):
+        region = HugepageRegion(page_count=1)
+        buffer = region.alloc(1000)
+        assert region.allocated == 1000
+        buffer.free()
+        assert region.allocated == 0
+        assert region.live_buffers == 0
+
+    def test_exhaustion_raises(self):
+        region = HugepageRegion(page_count=1)
+        region.alloc(PAGE_SIZE)
+        with pytest.raises(HugepageExhaustedError):
+            region.alloc(1)
+
+    def test_try_alloc_returns_none_when_full(self):
+        region = HugepageRegion(page_count=1)
+        region.alloc(PAGE_SIZE)
+        assert region.try_alloc(1) is None
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ResourceError):
+            HugepageRegion().alloc(-5)
+
+    def test_peak_tracking(self):
+        region = HugepageRegion(page_count=1)
+        a = region.alloc(1000)
+        b = region.alloc(500)
+        a.free()
+        region.alloc(100)
+        assert region.peak_allocated == 1500
+
+
+class TestBuffers:
+    def test_data_roundtrip(self):
+        region = HugepageRegion()
+        buffer = region.alloc(64)
+        buffer.write(b"hello")
+        assert buffer.read() == b"hello"
+
+    def test_write_oversized_rejected(self):
+        region = HugepageRegion()
+        buffer = region.alloc(4)
+        with pytest.raises(ResourceError):
+            buffer.write(b"too long")
+
+    def test_data_pointer_resolution(self):
+        region = HugepageRegion()
+        buffer = region.alloc(16)
+        assert region.get(buffer.buffer_id) is buffer
+
+    def test_dangling_pointer_rejected(self):
+        region = HugepageRegion()
+        with pytest.raises(ResourceError, match="dangling"):
+            region.get(9999)
+
+    def test_double_free_rejected(self):
+        region = HugepageRegion()
+        buffer = region.alloc(16)
+        buffer.free()
+        with pytest.raises(ResourceError, match="double free"):
+            buffer.free()
+
+    def test_use_after_free_rejected(self):
+        region = HugepageRegion()
+        buffer = region.alloc(16)
+        buffer.free()
+        with pytest.raises(ResourceError):
+            buffer.write(b"x")
+        with pytest.raises(ResourceError):
+            buffer.read()
+
+    def test_buffer_ids_unique(self):
+        region = HugepageRegion()
+        ids = {region.alloc(8).buffer_id for _ in range(100)}
+        assert len(ids) == 100

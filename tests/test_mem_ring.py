@@ -1,0 +1,111 @@
+"""Tests for the SPSC ring: capacity, ordering, ownership discipline."""
+
+import pytest
+
+from repro.errors import ResourceError, RingEmptyError, RingFullError
+from repro.mem.ring import SpscRing
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        ring = SpscRing(8)
+        for i in range(5):
+            ring.push(i)
+        assert [ring.pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_capacity_enforced(self):
+        ring = SpscRing(2)
+        ring.push("a")
+        ring.push("b")
+        assert ring.full
+        with pytest.raises(RingFullError):
+            ring.push("c")
+        assert ring.full_rejections == 1
+
+    def test_pop_empty_raises(self):
+        ring = SpscRing(2)
+        with pytest.raises(RingEmptyError):
+            ring.pop()
+
+    def test_try_variants(self):
+        ring = SpscRing(1)
+        assert ring.try_pop() is None
+        assert ring.try_push("x") is True
+        assert ring.try_push("y") is False
+        assert ring.try_pop() == "x"
+
+    def test_wraparound(self):
+        ring = SpscRing(3)
+        for i in range(10):
+            ring.push(i)
+            assert ring.pop() == i
+        assert ring.empty
+        assert ring.produced == 10
+        assert ring.consumed == 10
+
+    def test_peek_does_not_consume(self):
+        ring = SpscRing(4)
+        ring.push("a")
+        assert ring.peek() == "a"
+        assert len(ring) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ResourceError):
+            SpscRing(0)
+
+
+class TestBatching:
+    def test_pop_batch_limits(self):
+        ring = SpscRing(16)
+        for i in range(10):
+            ring.push(i)
+        batch = ring.pop_batch(4)
+        assert batch == [0, 1, 2, 3]
+        assert len(ring) == 6
+
+    def test_pop_batch_drains_partial(self):
+        ring = SpscRing(16)
+        ring.push(1)
+        assert ring.pop_batch(10) == [1]
+
+    def test_push_batch_stops_at_capacity(self):
+        ring = SpscRing(3)
+        pushed = ring.push_batch([1, 2, 3, 4, 5])
+        assert pushed == 3
+        assert ring.full
+
+    def test_negative_batch_rejected(self):
+        ring = SpscRing(4)
+        with pytest.raises(ResourceError):
+            ring.pop_batch(-1)
+
+
+class TestOwnership:
+    def test_single_producer_enforced(self):
+        ring = SpscRing(4)
+        producer_a, producer_b = object(), object()
+        ring.push(1, owner=producer_a)
+        with pytest.raises(ResourceError, match="SPSC"):
+            ring.push(2, owner=producer_b)
+
+    def test_single_consumer_enforced(self):
+        ring = SpscRing(4)
+        ring.push(1)
+        consumer_a, consumer_b = object(), object()
+        ring.try_pop(owner=consumer_a)
+        with pytest.raises(ResourceError, match="SPSC"):
+            ring.try_pop(owner=consumer_b)
+
+    def test_same_owner_may_repeat(self):
+        ring = SpscRing(4)
+        owner = object()
+        ring.push(1, owner=owner)
+        ring.push(2, owner=owner)
+        assert ring.pop(owner=object()) == 1  # first consumer claims
+
+    def test_producer_and_consumer_may_differ(self):
+        ring = SpscRing(4)
+        ring.claim_producer("p")
+        ring.claim_consumer("c")
+        ring.push(1, owner="p")
+        assert ring.pop(owner="c") == 1

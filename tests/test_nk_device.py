@@ -1,0 +1,125 @@
+"""Tests for the NK device: ring direction, wake accounting, draining."""
+
+import pytest
+
+from repro.core.nk_device import NKDevice, ROLE_NSM, ROLE_VM
+from repro.core.nqe import Nqe, NqeOp
+from repro.errors import ConfigurationError
+from repro.mem.hugepages import HugepageRegion
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_device(sim, role=ROLE_VM, queue_sets=2, poll_window=20e-6):
+    return NKDevice(sim, "dev", role, queue_sets,
+                    HugepageRegion(page_count=1),
+                    poll_window_sec=poll_window)
+
+
+class TestRingDirection:
+    def test_vm_role_produces_job_and_send(self, sim):
+        device = make_device(sim, ROLE_VM)
+        qs = device.queue_sets[0]
+        control, data = device.produce_rings(qs)
+        assert control is qs.job and data is qs.send
+        control, data = device.consume_rings(qs)
+        assert control is qs.completion and data is qs.receive
+
+    def test_nsm_role_is_mirror_image(self, sim):
+        device = make_device(sim, ROLE_NSM)
+        qs = device.queue_sets[0]
+        control, data = device.produce_rings(qs)
+        assert control is qs.completion and data is qs.receive
+        control, data = device.consume_rings(qs)
+        assert control is qs.job and data is qs.send
+
+    def test_unknown_role_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            NKDevice(sim, "x", "weird", 1, HugepageRegion(page_count=1))
+
+    def test_queue_set_for_vcpu_wraps(self, sim):
+        device = make_device(sim, queue_sets=2)
+        assert device.queue_set_for(0) is device.queue_sets[0]
+        assert device.queue_set_for(3) is device.queue_sets[1]
+
+
+class TestNotification:
+    def test_doorbell_callback(self, sim):
+        device = make_device(sim)
+        rings = []
+        device.doorbell = lambda: rings.append(1)
+        device.ring_doorbell()
+        assert rings == [1]
+
+    def test_doorbell_without_handler_is_noop(self, sim):
+        make_device(sim).ring_doorbell()  # must not raise
+
+    def test_wake_within_poll_window_counts_polled(self, sim):
+        device = make_device(sim, poll_window=1.0)
+        device.wait_for_inbound()
+        sim.timeout(0.5)
+        sim.run()
+        device.wake()
+        assert device.wakeups_polled == 1
+        assert device.wakeups_interrupt == 0
+
+    def test_wake_after_window_counts_interrupt(self, sim):
+        device = make_device(sim, poll_window=1e-6)
+        device.wait_for_inbound()
+        sim.timeout(0.5)
+        sim.run()
+        device.wake()
+        assert device.wakeups_interrupt == 1
+
+    def test_wake_triggers_waiters(self, sim):
+        device = make_device(sim)
+        event = device.wait_for_inbound()
+        device.wake()
+        assert event.triggered
+
+    def test_wake_rearms_event(self, sim):
+        device = make_device(sim)
+        first = device.wait_for_inbound()
+        device.wake()
+        second = device.wait_for_inbound()
+        assert second is not first
+        assert not second.triggered
+
+
+class TestDraining:
+    def test_drain_consume_respects_role(self, sim):
+        device = make_device(sim, ROLE_VM)
+        qs = device.queue_sets[0]
+        qs.completion.push(Nqe(NqeOp.OP_RESULT, 1, 0, 1))
+        qs.receive.push(Nqe(NqeOp.DATA_ARRIVED, 1, 0, 1))
+        qs.job.push(Nqe(NqeOp.SOCKET, 1, 0, 1))  # produce side: untouched
+        batch = device.drain_consume(10, consumer="me")
+        assert len(batch) == 2
+        assert len(qs.job) == 1
+
+    def test_drain_limit(self, sim):
+        device = make_device(sim, ROLE_VM, queue_sets=1)
+        qs = device.queue_sets[0]
+        for _ in range(5):
+            qs.completion.push(Nqe(NqeOp.OP_RESULT, 1, 0, 1))
+        assert len(device.drain_consume(3, consumer="me")) == 3
+
+    def test_pending_flags(self, sim):
+        device = make_device(sim, ROLE_VM, queue_sets=1)
+        qs = device.queue_sets[0]
+        assert not device.consume_pending()
+        assert not device.produce_pending()
+        qs.receive.push(Nqe(NqeOp.DATA_ARRIVED, 1, 0, 1))
+        assert device.consume_pending()
+        qs.send.push(Nqe(NqeOp.SEND, 1, 0, 1))
+        assert device.produce_pending()
+
+    def test_stats_include_wakeups(self, sim):
+        device = make_device(sim)
+        stats = device.stats()
+        assert "wakeups_polled" in stats
+        assert "wakeups_interrupt" in stats

@@ -1,0 +1,144 @@
+"""Property-based (hypothesis) tests on the core data structures."""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.coreengine import TokenBucket
+from repro.mem.hugepages import HugepageRegion
+from repro.mem.ring import SpscRing
+from repro.sim import Simulator
+
+
+class RingModel(RuleBasedStateMachine):
+    """The SPSC ring must behave exactly like a bounded FIFO."""
+
+    def __init__(self):
+        super().__init__()
+        self.ring = SpscRing(capacity=8)
+        self.model = []
+        self.counter = 0
+
+    @rule()
+    def push(self):
+        accepted = self.ring.try_push(self.counter)
+        if len(self.model) < 8:
+            assert accepted
+            self.model.append(self.counter)
+        else:
+            assert not accepted
+        self.counter += 1
+
+    @rule()
+    def pop(self):
+        item = self.ring.try_pop()
+        if self.model:
+            assert item == self.model.pop(0)
+        else:
+            assert item is None
+
+    @rule(n=st.integers(0, 10))
+    def pop_batch(self, n):
+        batch = self.ring.pop_batch(n)
+        expected, self.model = self.model[:n], self.model[n:]
+        assert batch == expected
+
+    @invariant()
+    def depth_matches(self):
+        assert len(self.ring) == len(self.model)
+        assert self.ring.empty == (not self.model)
+        assert self.ring.full == (len(self.model) == 8)
+
+
+TestRingModel = RingModel.TestCase
+TestRingModel.settings = settings(max_examples=40,
+                                  stateful_step_count=40,
+                                  deadline=None)
+
+
+class RegionModel(RuleBasedStateMachine):
+    """Hugepage accounting must always balance."""
+
+    def __init__(self):
+        super().__init__()
+        self.region = HugepageRegion(page_count=1)  # 2 MiB budget
+        self.live = {}
+
+    @rule(size=st.integers(0, 300_000))
+    def alloc(self, size):
+        buffer = self.region.try_alloc(size)
+        if sum(self.live.values()) + size <= self.region.capacity:
+            assert buffer is not None
+            self.live[buffer.buffer_id] = size
+        else:
+            assert buffer is None
+
+    @rule()
+    def free_one(self):
+        if not self.live:
+            return
+        buffer_id = next(iter(self.live))
+        self.region.get(buffer_id).free()
+        del self.live[buffer_id]
+
+    @invariant()
+    def accounting_balances(self):
+        assert self.region.allocated == sum(self.live.values())
+        assert self.region.live_buffers == len(self.live)
+        assert 0 <= self.region.allocated <= self.region.capacity
+
+
+TestRegionModel = RegionModel.TestCase
+TestRegionModel.settings = settings(max_examples=40,
+                                    stateful_step_count=40,
+                                    deadline=None)
+
+
+class TestTokenBucketProperties:
+    @given(rate=st.floats(1e3, 1e9), burst=st.floats(1.0, 1e7),
+           draws=st.lists(st.floats(1.0, 1e6), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_never_exceeds_rate_over_time(self, rate, burst, draws):
+        """Total admitted tokens <= burst + rate * elapsed, always."""
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate, burst)
+        admitted = 0.0
+        elapsed = 0.0
+        max_single = max(draws)
+        for amount in draws:
+            if bucket.try_consume(amount):
+                admitted += amount
+            sim.timeout(0.001)
+            sim.run()
+            elapsed += 0.001
+        # Burst may have auto-expanded to admit the largest single op.
+        effective_burst = max(burst, rate * 1e-3, max_single)
+        assert admitted <= effective_burst + rate * elapsed + 1e-6
+
+    @given(rate=st.floats(1e3, 1e6))
+    @settings(max_examples=30, deadline=None)
+    def test_time_until_is_sufficient(self, rate):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate, burst=rate * 0.01)
+        bucket.try_consume(bucket.tokens)  # drain
+        need = rate * 0.005
+        wait = bucket.time_until(need)
+        sim.timeout(wait + 1e-9)
+        sim.run()
+        assert bucket.try_consume(need)
+
+
+class TestNqeFuzz:
+    @given(raw=st.binary(min_size=32, max_size=32))
+    @settings(max_examples=100, deadline=None)
+    def test_unpack_never_crashes_on_valid_ops(self, raw):
+        """Arbitrary 32-byte blobs either decode or raise ValueError —
+        never anything else (a malicious guest can write anything into
+        shared memory)."""
+        from repro.core.nqe import Nqe
+
+        try:
+            nqe = Nqe.unpack(raw)
+        except ValueError:
+            return
+        assert 0 <= nqe.vm_id <= 255
+        assert 0 <= nqe.queue_set_id <= 255

@@ -1,0 +1,106 @@
+"""Half-close (shutdown(SHUT_WR)) on both architectures: the classic
+send-request / FIN / read-full-response pattern."""
+
+import pytest
+
+from repro.baseline.host import BaselineHost
+from repro.core.host import NetKernelHost
+from repro.errors import InvalidSocketStateError, NotConnectedError, \
+    SocketError
+from repro.net.fabric import Network
+from repro.sim import Simulator
+from repro.units import gbps, usec
+
+
+def netkernel_env(sim):
+    host = NetKernelHost(sim, Network(sim, default_rate_bps=gbps(10),
+                                      default_delay_sec=usec(25)))
+    nsm = host.add_nsm("nsm0", vcpus=1, stack="kernel")
+    server_vm = host.add_vm("srv", vcpus=1, nsm=nsm)
+    client_vm = host.add_vm("cli", vcpus=1, nsm=nsm)
+    return (server_vm, client_vm, host.socket_api(server_vm),
+            host.socket_api(client_vm), ("nsm0", 80))
+
+
+def baseline_env(sim):
+    host = BaselineHost(sim, Network(sim, default_rate_bps=gbps(10),
+                                     default_delay_sec=usec(25)))
+    server_vm = host.add_vm("srv", vcpus=1)
+    client_vm = host.add_vm("cli", vcpus=1)
+    return (server_vm, client_vm, host.socket_api(server_vm),
+            host.socket_api(client_vm), ("srv", 80))
+
+
+@pytest.mark.parametrize("env", [netkernel_env, baseline_env],
+                         ids=["netkernel", "baseline"])
+class TestHalfClose:
+    def test_request_eof_response(self, env):
+        """Client sends, shutdowns, and still reads the whole response."""
+        sim = Simulator()
+        server_vm, client_vm, api_s, api_c, addr = env(sim)
+        request = b"Q" * 50_000
+        response = b"R" * 80_000
+        result = {}
+
+        def server():
+            listener = yield from api_s.socket()
+            yield from api_s.bind(listener, 80)
+            yield from api_s.listen(listener)
+            conn = yield from api_s.accept(listener)
+            got = bytearray()
+            while True:  # read until the client's FIN
+                data = yield from api_s.recv(conn, 65536)
+                if not data:
+                    break
+                got.extend(data)
+            result["request"] = bytes(got)
+            yield from api_s.send(conn, response)
+            yield from api_s.close(conn)
+
+        def client():
+            yield sim.timeout(0.001)
+            sock = yield from api_c.socket()
+            yield from api_c.connect(sock, addr)
+            yield from api_c.send(sock, request)
+            yield from api_c.shutdown(sock)      # half-close: FIN
+            got = bytearray()
+            while True:
+                data = yield from api_c.recv(sock, 65536)
+                if not data:
+                    break
+                got.extend(data)
+            result["response"] = bytes(got)
+            yield from api_c.close(sock)
+
+        server_vm.spawn(server())
+        client_vm.spawn(client())
+        sim.run(until=20.0)
+        assert result["request"] == request
+        assert result["response"] == response
+
+    def test_send_after_shutdown_rejected(self, env):
+        sim = Simulator()
+        server_vm, client_vm, api_s, api_c, addr = env(sim)
+        outcome = {}
+
+        def server():
+            listener = yield from api_s.socket()
+            yield from api_s.bind(listener, 80)
+            yield from api_s.listen(listener)
+            yield from api_s.accept(listener)
+
+        def client():
+            yield sim.timeout(0.001)
+            sock = yield from api_c.socket()
+            yield from api_c.connect(sock, addr)
+            yield from api_c.shutdown(sock)
+            try:
+                yield from api_c.send(sock, b"too late")
+            except (InvalidSocketStateError, NotConnectedError,
+                    SocketError):
+                outcome["rejected"] = True
+
+        server_vm.spawn(server())
+        client_vm.spawn(client())
+        sim.run(until=5.0)
+        assert outcome.get("rejected")

@@ -1,0 +1,285 @@
+"""Tests for the discrete-event engine: events, processes, run loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.event import PENDING, Event
+from repro.sim.process import Interrupt
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvents:
+    def test_fresh_event_is_pending(self, sim):
+        event = sim.event()
+        assert event.pending
+        assert not event.triggered
+
+    def test_succeed_carries_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        sim.run()
+        assert event.processed
+        assert event.value == 42
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_propagates_exception(self, sim):
+        event = sim.event()
+        waiters = []
+        event.callbacks.append(waiters.append)  # someone is listening
+        event.fail(ValueError("boom"))
+        sim.run()
+        with pytest.raises(ValueError):
+            _ = event.value
+
+    def test_unconsumed_failure_raises_at_step(self, sim):
+        """A failed event nobody waits on crashes the run loudly."""
+        event = sim.event()
+        event.fail(ValueError("unheard"))
+        with pytest.raises(ValueError, match="unheard"):
+            sim.run()
+
+    def test_fail_requires_exception_instance(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_callbacks_run_once(self, sim):
+        event = sim.event()
+        calls = []
+        event.callbacks.append(lambda e: calls.append(1))
+        event.succeed()
+        sim.run()
+        assert calls == [1]
+
+
+class TestTimeouts:
+    def test_timeout_advances_clock(self, sim):
+        sim.timeout(1.5)
+        sim.run()
+        assert sim.now == pytest.approx(1.5)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_timeouts_fire_in_order(self, sim):
+        order = []
+        sim.call_later(2.0, lambda: order.append("b"))
+        sim.call_later(1.0, lambda: order.append("a"))
+        sim.call_later(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self, sim):
+        order = []
+        sim.call_later(1.0, lambda: order.append("first"))
+        sim.call_later(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_call_at_in_past_rejected(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_run_until_advances_clock_even_without_events(self, sim):
+        sim.timeout(1.0)
+        sim.run(until=10.0)
+        assert sim.now == pytest.approx(10.0)
+
+    def test_run_until_leaves_future_events(self, sim):
+        fired = []
+        sim.call_later(5.0, lambda: fired.append(1))
+        sim.run(until=2.0)
+        assert not fired
+        sim.run()
+        assert fired == [1]
+
+
+class TestProcesses:
+    def test_process_returns_value(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return "done"
+
+        process = sim.process(proc())
+        value = sim.run_until_event(process)
+        assert value == "done"
+        assert sim.now == pytest.approx(1.0)
+
+    def test_process_waits_on_event(self, sim):
+        event = sim.event()
+        results = []
+
+        def waiter():
+            value = yield event
+            results.append(value)
+
+        sim.process(waiter())
+        sim.call_later(2.0, lambda: event.succeed("payload"))
+        sim.run()
+        assert results == ["payload"]
+
+    def test_process_chains_on_other_process(self, sim):
+        def inner():
+            yield sim.timeout(1.0)
+            return 10
+
+        def outer():
+            value = yield sim.process(inner())
+            return value + 1
+
+        process = sim.process(outer())
+        assert sim.run_until_event(process) == 11
+
+    def test_exception_in_event_reraised_in_process(self, sim):
+        event = sim.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield event
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.process(waiter())
+        sim.call_later(1.0, lambda: event.fail(RuntimeError("bad")))
+        sim.run()
+        assert caught == ["bad"]
+
+    def test_process_failure_propagates_to_waiter(self, sim):
+        def failing():
+            yield sim.timeout(0.1)
+            raise KeyError("inner")
+
+        process = sim.process(failing())
+        with pytest.raises(KeyError):
+            sim.run_until_event(process)
+
+    def test_yield_non_event_fails_process(self, sim):
+        def bad():
+            yield 42
+
+        process = sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run_until_event(process)
+
+    def test_interrupt_raises_inside_process(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                log.append((interrupt.cause, sim.now))
+
+        process = sim.process(sleeper())
+        sim.call_later(1.0, lambda: process.interrupt("wake"))
+        sim.run()
+        assert log == [("wake", 1.0)]
+
+    def test_waiting_on_already_processed_event(self, sim):
+        event = sim.event()
+        event.succeed("early")
+        sim.run()
+
+        def late_waiter():
+            value = yield event
+            return value
+
+        process = sim.process(late_waiter())
+        assert sim.run_until_event(process) == "early"
+
+    def test_deadlock_detected(self, sim):
+        event = sim.event()  # never triggered
+
+        def stuck():
+            yield event
+
+        process = sim.process(stuck())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until_event(process)
+
+
+class TestConditions:
+    def test_any_of_fires_on_first(self, sim):
+        e1, e2 = sim.event(), sim.event()
+        condition = sim.any_of([e1, e2])
+        sim.call_later(1.0, lambda: e1.succeed("one"))
+        sim.call_later(5.0, lambda: e2.succeed("two"))
+        sim.run_until_event(condition, limit=2.0)
+        assert sim.now == pytest.approx(1.0)
+
+    def test_all_of_waits_for_every_event(self, sim):
+        e1, e2 = sim.event(), sim.event()
+        condition = sim.all_of([e1, e2])
+        sim.call_later(1.0, lambda: e1.succeed())
+        sim.call_later(3.0, lambda: e2.succeed())
+        sim.run_until_event(condition)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_empty_condition_fires_immediately(self, sim):
+        condition = sim.all_of([])
+        sim.run()
+        assert condition.processed
+
+    def test_any_of_with_pre_triggered_event(self, sim):
+        e1 = sim.event()
+        e1.succeed("x")
+        condition = sim.any_of([e1, sim.event()])
+        sim.run()
+        assert condition.triggered
+
+
+class TestConditionTimeoutRegression:
+    """AnyOf/AllOf with Timeout members: a timeout is armed at creation
+    but must only satisfy a condition at its due time (the epoll_wait
+    spin found during development)."""
+
+    def test_any_of_with_timeout_waits_for_due_time(self, sim):
+        event = sim.event()
+        condition = sim.any_of([event, sim.timeout(2.0)])
+        sim.run()
+        assert condition.processed
+        assert sim.now == pytest.approx(2.0)
+
+    def test_any_of_event_beats_timeout(self, sim):
+        event = sim.event()
+        condition = sim.any_of([event, sim.timeout(5.0)])
+        sim.call_later(1.0, lambda: event.succeed("won"))
+        sim.run_until_event(condition)
+        assert sim.now == pytest.approx(1.0)
+
+    def test_all_of_with_timeout(self, sim):
+        event = sim.event()
+        condition = sim.all_of([event, sim.timeout(1.0)])
+        sim.call_later(3.0, lambda: event.succeed())
+        sim.run_until_event(condition)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_process_waiting_on_any_of_timeout(self, sim):
+        log = []
+
+        def waiter():
+            yield sim.any_of([sim.event(), sim.timeout(0.5)])
+            log.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert log == [pytest.approx(0.5)]

@@ -1,0 +1,89 @@
+"""Tests for Resource and Store."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.sim import Simulator
+from repro.sim.resources import Resource, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_acquire_within_capacity_is_immediate(self, sim):
+        resource = Resource(sim, capacity=2)
+        e1 = resource.acquire()
+        e2 = resource.acquire()
+        assert e1.triggered and e2.triggered
+        assert resource.available == 0
+
+    def test_acquire_beyond_capacity_waits(self, sim):
+        resource = Resource(sim, capacity=1)
+        resource.acquire()
+        waiter = resource.acquire()
+        assert not waiter.triggered
+        resource.release()
+        assert waiter.triggered
+
+    def test_release_without_acquire_rejected(self, sim):
+        resource = Resource(sim)
+        with pytest.raises(ResourceError):
+            resource.release()
+
+    def test_fifo_handoff(self, sim):
+        resource = Resource(sim, capacity=1)
+        resource.acquire()
+        first = resource.acquire()
+        second = resource.acquire()
+        resource.release()
+        assert first.triggered and not second.triggered
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ResourceError):
+            Resource(sim, capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("a")
+        event = store.get()
+        assert event.triggered
+        assert event._value == "a"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        getter = store.get()
+        assert not getter.triggered
+        store.put("item")
+        assert getter.triggered
+
+    def test_fifo_ordering(self, sim):
+        store = Store(sim)
+        for item in ("a", "b", "c"):
+            store.put(item)
+        values = [store.get()._value for _ in range(3)]
+        assert values == ["a", "b", "c"]
+
+    def test_bounded_put_blocks_when_full(self, sim):
+        store = Store(sim, capacity=1)
+        store.put("x")
+        putter = store.put("y")
+        assert not putter.triggered
+        store.get()
+        assert putter.triggered
+        assert store.items[0] == "y"
+
+    def test_try_get_empty_returns_none(self, sim):
+        store = Store(sim)
+        assert store.try_get() is None
+
+    def test_direct_handoff_to_waiting_getter(self, sim):
+        store = Store(sim)
+        getter = store.get()
+        store.put("direct")
+        assert getter._value == "direct"
+        assert len(store) == 0

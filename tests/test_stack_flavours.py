@@ -1,0 +1,150 @@
+"""Tests for the kernel/mTCP stack flavours' cost behaviour."""
+
+import pytest
+
+from repro.cpu.core import Core
+from repro.cpu.cost_model import DEFAULT_COST_MODEL
+from repro.net.fabric import Network
+from repro.sim import Simulator
+from repro.stack.cc.bbr import BbrCC
+from repro.stack.kernel_stack import KernelStack
+from repro.stack.mtcp_stack import MtcpStack
+from repro.units import gbps, mbps, usec
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make(sim, cls, name, cores=1, **kwargs):
+    network = Network(sim, default_rate_bps=gbps(10),
+                      default_delay_sec=usec(25))
+    return cls(sim, network, name, [Core(sim) for _ in range(cores)],
+               **kwargs)
+
+
+class TestKernelStack:
+    def test_rx_costs_dominate_tx(self, sim):
+        stack = make(sim, KernelStack, "k")
+        assert (stack._segment_rx_cycles(8192)
+                > stack._segment_tx_cycles(8192))
+
+    def test_request_rate_calibration(self, sim):
+        stack = make(sim, KernelStack, "k")
+        # ~70K rps/core (Fig. 17) before app work.
+        assert stack.request_rate_per_core() == pytest.approx(75.7e3,
+                                                              rel=0.02)
+
+    def test_pure_ack_cheap(self, sim):
+        stack = make(sim, KernelStack, "k")
+        assert stack._segment_tx_cycles(0) < stack._segment_tx_cycles(64)
+        assert stack._segment_rx_cycles(0) < stack._segment_rx_cycles(64)
+
+    def test_connection_costs_nonzero(self, sim):
+        stack = make(sim, KernelStack, "k")
+        assert stack._conn_setup_cycles() > 0
+        assert stack._conn_teardown_cycles() > 0
+
+
+class TestMtcpStack:
+    def test_cheaper_than_kernel_per_request(self, sim):
+        kernel = make(sim, KernelStack, "k1")
+        mtcp = make(sim, MtcpStack, "m1")
+        assert mtcp.request_rate_per_core() > 2 * kernel.request_rate_per_core()
+
+    def test_core_count_envelope_enforced(self, sim):
+        # §7.4 fn. 4: mTCP is only stable at 1/2/4/8 vCPUs.
+        with pytest.raises(ValueError):
+            make(sim, MtcpStack, "m2", cores=3)
+
+    def test_core_count_override(self, sim):
+        stack = make(sim, MtcpStack, "m3", cores=3,
+                     strict_core_counts=False)
+        assert len(stack.cores) == 3
+
+    def test_supported_counts_ok(self, sim):
+        for index, count in enumerate(MtcpStack.SUPPORTED_CORE_COUNTS):
+            make(sim, MtcpStack, f"m4-{index}", cores=count)
+
+
+class TestBbr:
+    def test_startup_grows_exponentially(self):
+        cc = BbrCC(1448, clock=lambda: 0.0)
+        start = cc.cwnd
+        cc.on_ack(int(start))
+        assert cc.cwnd >= 2 * start
+
+    def test_tracks_bandwidth_delay_product(self):
+        clock = {"t": 0.0}
+        cc = BbrCC(1448, clock=lambda: clock["t"])
+        # Feed a steady 100 Mbps with 10ms RTT: BDP = 125 KB.
+        for _ in range(50):
+            clock["t"] += 0.01
+            cc.on_ack(125_000, rtt=0.01)
+        assert cc.min_rtt == pytest.approx(0.01)
+        bdp = cc.bandwidth_estimate * cc.min_rtt
+        assert cc.cwnd == pytest.approx(2.0 * bdp, rel=0.05)
+
+    def test_ignores_isolated_loss(self):
+        cc = BbrCC(1448)
+        cc.cwnd = 100 * 1448
+        cc.on_fast_retransmit()
+        assert cc.cwnd == 100 * 1448
+
+    def test_timeout_resets_model(self):
+        clock = {"t": 0.0}
+        cc = BbrCC(1448, clock=lambda: clock["t"])
+        for _ in range(10):
+            clock["t"] += 0.01
+            cc.on_ack(50_000, rtt=0.01)
+        cc.on_timeout()
+        assert cc.cwnd == 4 * 1448
+        assert cc.bandwidth_estimate == 0.0
+
+    def test_functional_transfer_with_bbr(self, sim):
+        """BBR drives a real transfer through the functional TCP."""
+        from repro.stack.tcp.engine import TcpEngine
+
+        network = Network(sim, default_rate_bps=mbps(100),
+                          default_delay_sec=usec(200))
+        def factory(mss):
+            return BbrCC(mss, clock=lambda: sim.now)
+
+        a = TcpEngine(sim, network, "A", cc_factory=factory)
+        b = TcpEngine(sim, network, "B", cc_factory=factory)
+        listener = b.socket()
+        b.bind(listener, 80)
+        b.listen(listener)
+        received = bytearray()
+
+        def on_accept(lst):
+            child = b.accept(lst)
+
+            def drain(conn):
+                while True:
+                    data = b.recv(conn, 1 << 20)
+                    if not data:
+                        break
+                    received.extend(data)
+
+            child.on_readable = drain
+
+        listener.on_accept_ready = on_accept
+        conn = a.socket()
+        payload = b"b" * 200_000
+        progress = {"sent": 0}
+
+        def push(c):
+            while progress["sent"] < len(payload):
+                took = a.send(c, payload[progress["sent"]:])
+                if took == 0:
+                    return
+                progress["sent"] += took
+            a.close(c)
+
+        conn.on_connected = push
+        conn.on_writable = push
+        a.connect(conn, ("B", 80))
+        sim.run(until=10.0)
+        assert len(received) == len(payload)

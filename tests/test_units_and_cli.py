@@ -1,0 +1,74 @@
+"""Tests for unit helpers, the error hierarchy, and the CLI."""
+
+import pytest
+
+from repro import errors, units
+from repro.cli import main as cli_main
+
+
+class TestUnits:
+    def test_sizes(self):
+        assert units.KiB(8) == 8192
+        assert units.MiB(2) == 2 * 1024 * 1024
+        assert units.KB == 1000
+
+    def test_rates(self):
+        assert units.gbps(100) == 100e9
+        assert units.mbps(500) == 500e6
+        assert units.kbps(10) == 10e3
+        assert units.to_gbps(25e9) == 25.0
+
+    def test_bytes_bits(self):
+        assert units.bytes_per_sec(units.gbps(8)) == 1e9
+        assert units.bits(125) == 1000
+
+    def test_time(self):
+        assert units.usec(20) == pytest.approx(20e-6)
+        assert units.msec(5) == pytest.approx(0.005)
+        assert units.nsec(100) == pytest.approx(1e-7)
+        assert units.to_usec(1e-6) == pytest.approx(1.0)
+        assert units.to_msec(0.25) == pytest.approx(250.0)
+
+    def test_cycles(self):
+        assert units.PAPER_CORE_HZ == 2.3e9
+        seconds = units.cycles_to_seconds(2.3e9)
+        assert seconds == pytest.approx(1.0)
+        assert units.seconds_to_cycles(2.0) == pytest.approx(4.6e9)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(errors.RingFullError, errors.ResourceError)
+        assert issubclass(errors.ResourceError, errors.NetKernelError)
+        assert issubclass(errors.SocketError, errors.NetKernelError)
+
+    def test_errno_names(self):
+        assert errors.AddressInUseError().errno_name == "EADDRINUSE"
+        assert errors.ConnectionRefusedError_().errno_name == "ECONNREFUSED"
+        assert errors.MessageTooLargeError().errno_name == "EMSGSIZE"
+
+    def test_socket_error_message_defaults_to_errno(self):
+        error = errors.NotConnectedError()
+        assert "ENOTCONN" in str(error)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "table6" in out
+
+    def test_run_single(self, capsys):
+        assert cli_main(["run", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+        assert "144" in out  # the 8KB calibration anchor
+
+    def test_run_unknown(self, capsys):
+        assert cli_main(["run", "fig99"]) == 1
+
+    def test_calibration_dump(self, capsys):
+        assert cli_main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "ce_switch_fixed" in out
+        assert "core_hz" in out
