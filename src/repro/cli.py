@@ -9,12 +9,17 @@ run <ids...>
     the packet-level experiments.
 calibration
     Dump the calibrated cost model constants.
+stats
+    Run a quickstart-style workload with the repro.obs layer enabled and
+    print per-stage NQE latency, ring occupancy, and token-bucket state
+    (``--json`` for machine-readable output).
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 import time
 from typing import List
@@ -89,6 +94,89 @@ def _cmd_run(ids: List[str], quick: bool) -> int:
     return 0
 
 
+def _stats_workload(transfer_bytes: int):
+    """The quickstart topology with observability on: one kernel-stack
+    NSM serving a rate-capped client VM talking to a server VM."""
+    from repro import NetKernelHost, Network, Simulator
+    from repro.units import gbps, mbps, usec
+
+    sim = Simulator()
+    network = Network(sim, default_rate_bps=gbps(100),
+                      default_delay_sec=usec(25))
+    host = NetKernelHost(sim, network)
+    obs = host.enable_observability(sample_interval=100e-6)
+
+    nsm = host.add_nsm("nsm0", vcpus=1, stack="kernel")
+    vm_server = host.add_vm("vm-server", vcpus=1, nsm=nsm)
+    vm_client = host.add_vm("vm-client", vcpus=1, nsm=nsm)
+    # Exercise both bucket kinds so the report shows isolation state.
+    host.coreengine.set_bandwidth_limit(vm_client.vm_id, mbps(500))
+    host.coreengine.set_ops_limit(vm_client.vm_id, 200_000)
+    api_server = host.socket_api(vm_server)
+    api_client = host.socket_api(vm_client)
+    payload = b"x" * transfer_bytes
+    done = {}
+
+    def server():
+        listener = yield from api_server.socket()
+        yield from api_server.bind(listener, 80)
+        yield from api_server.listen(listener, backlog=64)
+        conn = yield from api_server.accept(listener)
+        received = 0
+        while received < transfer_bytes:
+            data = yield from api_server.recv(conn, 1 << 16)
+            if not data:
+                break
+            received += len(data)
+        yield from api_server.send(conn, b"OK")
+        yield from api_server.close(conn)
+        done["server_bytes"] = received
+
+    def client():
+        yield sim.timeout(0.001)  # let the server bind first
+        sock = yield from api_client.socket()
+        yield from api_client.connect(sock, ("nsm0", 80))
+        yield from api_client.send(sock, payload)
+        reply = yield from api_client.recv(sock, 4096)
+        yield from api_client.close(sock)
+        done["reply"] = reply
+
+    vm_server.spawn(server())
+    vm_client.spawn(client())
+    sim.run(until=2.0)
+    return obs, done
+
+
+def _cmd_stats(as_json: bool, transfer_bytes: int) -> int:
+    obs, done = _stats_workload(transfer_bytes)
+    report = obs.report()
+    if as_json:
+        print(json.dumps(report, indent=2, default=str))
+        return 0
+    from repro.experiments.report import obs_ops_table, obs_stage_table
+
+    print(obs_stage_table(report).table_str())
+    print()
+    print(obs_ops_table(report).table_str())
+    print("\nToken buckets (per VM):")
+    for vm, buckets in sorted(report["token_buckets"].items()):
+        for kind, state in sorted(buckets.items()):
+            print(f"  vm={vm} {kind:<3} rate={state['rate']:.3g}/s "
+                  f"burst={state['burst']:.3g} tokens={state['tokens']:.3g}")
+    print("\nRing peak occupancy (non-empty):")
+    for ring, fields in sorted(report["rings"].items()):
+        if fields.get("peak_depth"):
+            print(f"  {ring:<40} peak={fields['peak_depth']:.0f} "
+                  f"now={fields['depth']:.0f}")
+    ce = report["coreengine"]
+    print(f"\nCoreEngine: {ce['nqes_switched']} NQEs in {ce['batches']} "
+          f"batches (avg {ce['avg_batch']:.2f}), "
+          f"{ce['rate_limited_stalls']} rate-limit stalls, "
+          f"{ce['nqes_dropped']} drops; "
+          f"transferred {done.get('server_bytes', 0)} B")
+    return 0
+
+
 def _cmd_calibration() -> int:
     from repro.cpu.cost_model import DEFAULT_COST_MODEL
 
@@ -110,6 +198,12 @@ def main(argv: List[str] = None) -> int:
     run_parser.add_argument("--quick", action="store_true",
                             help="shrink the packet-level experiments")
     sub.add_parser("calibration", help="dump cost-model constants")
+    stats_parser = sub.add_parser(
+        "stats", help="run an instrumented workload and print obs report")
+    stats_parser.add_argument("--json", action="store_true",
+                              help="emit the full report as JSON")
+    stats_parser.add_argument("--bytes", type=int, default=1 << 20,
+                              help="bytes the client transfers (default 1MiB)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -118,6 +212,8 @@ def main(argv: List[str] = None) -> int:
         return _cmd_run(args.ids, args.quick)
     if args.command == "calibration":
         return _cmd_calibration()
+    if args.command == "stats":
+        return _cmd_stats(args.json, args.bytes)
     return 1
 
 

@@ -99,3 +99,10 @@ class ConnectionTable:
     def entries_for_vm(self, vm_id: int):
         """All live entries belonging to one VM (for teardown/migration)."""
         return [e for t, e in self._by_vm.items() if t[0] == vm_id]
+
+    def nsm_loads(self) -> Dict[int, int]:
+        """Live connection count per NSM id (the load-balancing signal)."""
+        loads: Dict[int, int] = {}
+        for entry in self._by_vm.values():
+            loads[entry.nsm_id] = loads.get(entry.nsm_id, 0) + 1
+        return loads

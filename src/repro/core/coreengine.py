@@ -47,11 +47,17 @@ class TokenBucket:
         self._last = now
 
     def try_consume(self, amount: float) -> bool:
-        # A single operation larger than the burst could never pass;
-        # expand the burst to admit it (average rate is still enforced).
-        if amount > self.burst:
-            self.burst = amount
         self._refill()
+        if amount > self.burst:
+            # A single operation larger than the burst could never pass a
+            # plain bucket.  Admit it once the bucket is full and run a
+            # token deficit, so the average rate still holds — without
+            # persisting a widened burst that would weaken the cap for
+            # every later operation.
+            if self.tokens >= self.burst:
+                self.tokens -= amount
+                return True
+            return False
         if self.tokens >= amount:
             self.tokens -= amount
             return True
@@ -59,13 +65,18 @@ class TokenBucket:
 
     def time_until(self, amount: float) -> float:
         """Seconds until ``amount`` tokens will be available."""
-        if amount > self.burst:
-            self.burst = amount
         self._refill()
-        deficit = amount - self.tokens
+        # Oversized requests are admitted at a full bucket (see
+        # try_consume), so they wait for ``burst`` tokens, not ``amount``.
+        deficit = min(amount, self.burst) - self.tokens
         if deficit <= 0:
             return 0.0
         return deficit / self.rate
+
+    def refund(self, amount: float) -> None:
+        """Return tokens for an operation that was not admitted after all,
+        never pushing the level above the configured burst."""
+        self.tokens = min(self.burst, self.tokens + amount)
 
 
 class _Registration:
@@ -98,10 +109,19 @@ class CoreEngine:
         self._bw_limits: Dict[int, TokenBucket] = {}
         self._op_limits: Dict[int, TokenBucket] = {}
 
+        # Hugepage regions by VM id, retained after deregistration so
+        # in-flight NQEs for a vanished VM can still free their payloads.
+        self._vm_regions: Dict[int, HugepageRegion] = {}
+
         # Statistics.
         self.nqes_switched = 0
         self.batches = 0
         self.rate_limited_stalls = 0
+        self.nqes_dropped = 0
+
+        # Observability (repro.obs); None means tracing is disabled and
+        # the hot path pays nothing beyond the attribute check.
+        self.obs = None
 
         self._doorbell = sim.event()
         self._running = True
@@ -137,6 +157,8 @@ class CoreEngine:
         self.core.charge(self.cost.ce_device_setup, "ce.device_setup")
         registry = self._vms if role == ROLE_VM else self._nsms
         registry[numeric_id] = _Registration(numeric_id, device)
+        if role == ROLE_VM:
+            self._vm_regions[numeric_id] = hugepages
         return numeric_id, device
 
     def deregister(self, numeric_id: int) -> None:
@@ -169,10 +191,9 @@ class CoreEngine:
             raise ConfigurationError(f"unknown VM id {vm_id}")
         if not self._nsms:
             raise ConfigurationError("no NSM registered")
-        loads = {nsm_id: 0 for nsm_id in self._nsms}
-        for entry in self.table._by_vm.values():
-            if entry.nsm_id in loads:
-                loads[entry.nsm_id] += 1
+        table_loads = self.table.nsm_loads()
+        loads = {nsm_id: table_loads.get(nsm_id, 0)
+                 for nsm_id in self._nsms}
         nsm_id = min(sorted(loads), key=loads.get)
         self.vm_to_nsm[vm_id] = nsm_id
         return nsm_id
@@ -215,6 +236,12 @@ class CoreEngine:
 
     def _run(self):
         while self._running:
+            # Capture the doorbell *before* scanning.  kick() fired while
+            # the scan is suspended mid-pass succeeds the old event and
+            # installs a fresh one; sleeping on the fresh event would lose
+            # the wakeup for a push that landed just after its rings were
+            # scanned (lost-doorbell race).
+            doorbell = self._doorbell
             progressed = False
             stall: Optional[float] = None
             for registry in (self._vms, self._nsms):
@@ -226,8 +253,11 @@ class CoreEngine:
                         stall = result if stall is None else min(stall, result)
             if progressed:
                 continue
+            if doorbell.triggered:
+                # Kicked mid-scan: rescan rather than sleeping past it.
+                continue
             # Idle (or rate-limited): sleep until a doorbell or tokens.
-            waits = [self._doorbell]
+            waits = [doorbell]
             if stall is not None:
                 self.rate_limited_stalls += 1
                 waits.append(self.sim.timeout(max(stall, 1e-6)))
@@ -240,19 +270,21 @@ class CoreEngine:
         progressed = False
         stall: Optional[float] = None
         for qs in device.queue_sets:
-            control_ring, data_ring = device.produce_rings(qs)
-            batch: List[Nqe] = control_ring.pop_batch(self.batch_size,
-                                                      owner=self)
-            while len(batch) < self.batch_size:
-                nqe: Optional[Nqe] = data_ring.peek(owner=self)
-                if nqe is None:
-                    break
-                wait = self._admission_delay(reg, device, nqe)
-                if wait > 0:
-                    stall = wait if stall is None else min(stall, wait)
-                    break
-                data_ring.pop(owner=self)
-                batch.append(nqe)
+            batch: List[Nqe] = []
+            # Every VM-egress NQE — job-queue ops included — must pass the
+            # §4.4 admission check; popping the control ring unchecked
+            # would let a rate-capped VM blast unlimited control ops.
+            for ring in device.produce_rings(qs):
+                while len(batch) < self.batch_size:
+                    nqe: Optional[Nqe] = ring.peek(owner=self)
+                    if nqe is None:
+                        break
+                    wait = self._admission_delay(reg, device, nqe)
+                    if wait > 0:
+                        stall = wait if stall is None else min(stall, wait)
+                        break
+                    ring.pop(owner=self)
+                    batch.append(nqe)
             if not batch:
                 continue
             yield self.core.execute(self.cost.ce_batch_cycles(len(batch)),
@@ -281,12 +313,14 @@ class CoreEngine:
             if not ops.try_consume(1.0):
                 delay = max(ops.time_until(1.0), 1e-6)
                 if bw is not None:
-                    bw.tokens += nqe.size * 8.0  # undo the bandwidth charge
+                    bw.refund(nqe.size * 8.0)  # undo the bandwidth charge
         return delay
 
     # ---------------------------------------------------------------- routing --
 
     def _route(self, reg: _Registration, device: NKDevice, nqe: Nqe):
+        if self.obs is not None:
+            self.obs.on_ce_switch(nqe, device.role)
         if device.role == ROLE_VM:
             yield from self._route_vm_to_nsm(reg, nqe)
         else:
@@ -317,7 +351,8 @@ class CoreEngine:
         vm_tuple = nqe.vm_tuple
         vm_reg = self._vms.get(nqe.vm_id)
         if vm_reg is None:
-            return  # VM shut down; drop the response
+            self._drop_nqe(nqe)  # VM shut down
+            return
         entry = self.table.lookup_vm(vm_tuple)
         if entry is not None and not entry.complete and nqe.op == NqeOp.OP_RESULT:
             if nqe.op_data >= 0:
@@ -341,6 +376,17 @@ class CoreEngine:
             yield self.sim.timeout(2e-6)
         target_device.wake()
 
+    def _drop_nqe(self, nqe: Nqe) -> None:
+        """Drop an NQE addressed to a vanished VM, freeing any hugepage
+        payload it references so the shutdown path cannot leak buffers."""
+        self.nqes_dropped += 1
+        if nqe.data_ptr:
+            region = self._vm_regions.get(nqe.vm_id)
+            if region is not None:
+                buffer = region.lookup(nqe.data_ptr)
+                if buffer is not None and not buffer.freed:
+                    buffer.free()
+
     # -- introspection -----------------------------------------------------------
 
     def stats(self) -> dict:
@@ -352,4 +398,19 @@ class CoreEngine:
                           if self.batches else 0.0),
             "connections": len(self.table),
             "rate_limited_stalls": self.rate_limited_stalls,
+            "nqes_dropped": self.nqes_dropped,
         }
+
+    def isolation_state(self) -> dict:
+        """Per-VM token-bucket fill levels (bw in bits, ops in NQEs)."""
+        state: Dict[int, dict] = {}
+        for kind, limits in (("bw", self._bw_limits),
+                             ("ops", self._op_limits)):
+            for vm_id, bucket in limits.items():
+                bucket._refill()
+                state.setdefault(vm_id, {})[kind] = {
+                    "rate": bucket.rate,
+                    "burst": bucket.burst,
+                    "tokens": bucket.tokens,
+                }
+        return state

@@ -202,6 +202,9 @@ class GuestLib:
         self.nqes_sent = 0
         self.nqes_received = 0
 
+        # Observability (repro.obs); None = tracing disabled (default).
+        self.obs = None
+
     def add_vcpu_lane(self, core) -> int:
         """Hot-add a vCPU lane: a core, a queue set, and its poller
         (§4.4's dynamic queue scaling).  Returns the new lane index."""
@@ -238,6 +241,8 @@ class GuestLib:
         while not ring.try_push(nqe, owner=self):
             yield self.sim.timeout(5e-6)
         self.nqes_sent += 1
+        if self.obs is not None:
+            self.obs.on_guest_enqueue(nqe)
         self.device.ring_doorbell()
 
     def _call(self, vcpu: int, sock: NetKernelSocket, op: NqeOp,
@@ -595,6 +600,8 @@ class GuestLib:
             yield core.execute(cycles, "guestlib.dispatch")
             for nqe in batch:
                 self.nqes_received += 1
+                if self.obs is not None:
+                    self.obs.on_guest_deliver(nqe)
                 self._dispatch(nqe, qset_index)
 
     def _dispatch(self, nqe: Nqe, qset_index: int) -> None:

@@ -50,6 +50,22 @@ class NetKernelHost:
                                      batch_size=ce_batch_size)
         self.vms: Dict[str, GuestVM] = {}
         self.nsms: Dict[str, NetworkStackModule] = {}
+        #: Observability (repro.obs); None = tracing disabled (default).
+        self.obs = None
+
+    def enable_observability(self, sample_interval: Optional[float] = None):
+        """Switch on the repro.obs datapath tracing/metrics layer.
+
+        Idempotent; components added later are instrumented too.  With
+        ``sample_interval`` set, ring/hugepage/token-bucket gauges are
+        sampled periodically (they are always sampled at report time).
+        """
+        if self.obs is None:
+            from repro.obs import Observability
+
+            Observability(self.sim).attach_host(
+                self, sample_interval=sample_interval)
+        return self.obs
 
     # -- NSMs -------------------------------------------------------------------
 
@@ -85,6 +101,8 @@ class NetKernelHost:
         nsm.servicelib = ServiceLib(self.sim, nsm_id, device, nsm.stack,
                                     nsm.cores, self.cost)
         self.nsms[name] = nsm
+        if self.obs is not None:
+            self.obs.attach_nsm(nsm)
         return nsm
 
     def _scoped_network(self, endpoint: str, nic_rate_bps: Optional[float]):
@@ -141,6 +159,8 @@ class NetKernelHost:
             self.coreengine.assign_vm(vm_id, nsm.nsm_id)
         nsm.servicelib.attach_vm_region(vm_id, region)
         self.vms[name] = vm
+        if self.obs is not None:
+            self.obs.attach_vm(vm)
         return vm
 
     def add_vcpu(self, vm: GuestVM) -> int:

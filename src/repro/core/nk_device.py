@@ -131,6 +131,19 @@ class NKDevice:
                                             owner=consumer))
         return batch
 
+    def ring_depths(self) -> dict:
+        """Current and peak occupancy per ring, for obs samplers."""
+        depths = {}
+        for qs in self.queue_sets:
+            for ring_name in ("job", "send", "completion", "receive"):
+                ring = getattr(qs, ring_name)
+                depths[f"qs{qs.index}.{ring_name}"] = {
+                    "depth": len(ring),
+                    "peak": ring.peak_depth,
+                    "capacity": ring.capacity,
+                }
+        return depths
+
     def stats(self) -> dict:
         merged = {}
         for qs in self.queue_sets:

@@ -75,7 +75,7 @@ class Nqe:
     """
 
     __slots__ = ("op", "vm_id", "queue_set_id", "socket_id", "op_data",
-                 "data_ptr", "size", "token", "aux", "created_at")
+                 "data_ptr", "size", "token", "aux", "created_at", "trace")
 
     def __init__(self, op: NqeOp, vm_id: int, queue_set_id: int,
                  socket_id: int, op_data: int = 0, data_ptr: int = 0,
@@ -91,6 +91,9 @@ class Nqe:
         self.token = next(_tokens) if token is None else token
         self.aux = aux
         self.created_at = created_at
+        #: Sim-time stamps written by repro.obs when tracing is enabled;
+        #: stays None otherwise (not part of the 32-byte wire format).
+        self.trace = None
 
     # -- wire format -------------------------------------------------------
 

@@ -87,6 +87,9 @@ class ServiceLib:
         self.nqes_processed = 0
         self.nqes_emitted = 0
 
+        # Observability (repro.obs); None = tracing disabled (default).
+        self.obs = None
+
     def attach_vm_region(self, vm_id: int, region) -> None:
         """Map the hugepage region shared with one served VM."""
         self._regions[vm_id] = region
@@ -111,6 +114,8 @@ class ServiceLib:
         def attempt() -> None:
             if ring.try_push(nqe, owner=self):
                 self.nqes_emitted += 1
+                if self.obs is not None:
+                    self.obs.on_nsm_emit(nqe)
                 self.device.ring_doorbell()
             else:
                 self.sim.call_later(2e-6, attempt)
@@ -144,6 +149,8 @@ class ServiceLib:
             yield core.execute(cycles, "servicelib.dispatch")
             for nqe in batch:
                 self.nqes_processed += 1
+                if self.obs is not None:
+                    self.obs.on_nsm_consume(nqe)
                 yield from self._handle(nqe, qset_index, core)
 
     def _handle(self, nqe: Nqe, qset: int, core):

@@ -58,6 +58,33 @@ class ExperimentResult:
         return f"<ExperimentResult {self.exp_id} rows={len(self.rows)}>"
 
 
+def obs_stage_table(report: Dict[str, Any]) -> ExperimentResult:
+    """Per-stage latency + cycles table from an Observability report
+    (the dict returned by ``repro.obs.Observability.report``)."""
+    rows = [
+        [stage["stage"], stage["count"], stage["p50_us"], stage["p95_us"],
+         stage["p99_us"], stage["max_us"], stage["cycles"]]
+        for stage in report["stages"]
+    ]
+    return ExperimentResult(
+        "obs", "Per-stage NQE latency (guest -> CE -> NSM -> guest)",
+        ["stage", "count", "p50_us", "p95_us", "p99_us", "max_us", "cycles"],
+        rows)
+
+
+def obs_ops_table(report: Dict[str, Any]) -> ExperimentResult:
+    """Per-op end-to-end latency table from an Observability report."""
+    rows = [
+        [op["kind"], op["op"], op["vm"], op["count"], op["p50_us"],
+         op["p99_us"], op["max_us"]]
+        for op in report["ops"]
+    ]
+    return ExperimentResult(
+        "obs-ops", "Per-op NQE latency by VM",
+        ["kind", "op", "vm", "count", "p50_us", "p99_us", "max_us"],
+        rows)
+
+
 def ratio_check(measured: float, paper: float,
                 tolerance: float = 0.5) -> bool:
     """True when measured is within ±tolerance (relative) of paper."""

@@ -115,6 +115,23 @@ class HugepageRegion:
             )
         return buffer
 
+    def lookup(self, buffer_id: int) -> Optional[HugepageBuffer]:
+        """Resolve a data pointer, or None if it no longer lives here
+        (used on drop paths where a dangling pointer is not a bug)."""
+        return self._buffers.get(buffer_id)
+
+    def watermarks(self) -> Dict[str, int]:
+        """Occupancy snapshot for samplers (bytes and buffer counts)."""
+        return {
+            "capacity": self.capacity,
+            "allocated": self.allocated,
+            "free": self.free_bytes,
+            "peak_allocated": self.peak_allocated,
+            "live_buffers": self.live_buffers,
+            "total_allocs": self.total_allocs,
+            "total_frees": self.total_frees,
+        }
+
     def free(self, buffer: HugepageBuffer) -> None:
         """Release a buffer back to the region."""
         if buffer.freed:

@@ -32,6 +32,7 @@ class SpscRing:
         self.produced = 0
         self.consumed = 0
         self.full_rejections = 0
+        self.peak_depth = 0
 
     # -- ownership -----------------------------------------------------------
 
@@ -90,6 +91,8 @@ class SpscRing:
         self._tail = (self._tail + 1) % self.capacity
         self._count += 1
         self.produced += 1
+        if self._count > self.peak_depth:
+            self.peak_depth = self._count
         return True
 
     def push(self, item: Any, owner: Optional[object] = None) -> None:

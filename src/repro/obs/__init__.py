@@ -1,0 +1,173 @@
+"""repro.obs: the datapath observability layer.
+
+One :class:`Observability` instance owns a :class:`MetricsRegistry`, an
+:class:`NqeTracer`, a :class:`CpuAccountant`, and (optionally) a periodic
+:class:`PeriodicSampler`.  Components hold an ``obs`` attribute that is
+``None`` by default; every hook site is guarded by ``if obs is not None``
+so a run without observability pays nothing beyond that attribute check.
+
+Enable it on a host before (or after — late components are wired too)
+building VMs and NSMs::
+
+    host = NetKernelHost(sim, network)
+    obs = host.enable_observability(sample_interval=1e-3)
+    ...
+    sim.run(until=1.0)
+    report = obs.report()     # stages, ops, rings, buckets, cycles
+
+Hooks never yield, never charge cycles, and never create simulation
+events (the sampler is a separate process reading state), so the
+simulated timeline of the workload is identical with observability on or
+off — asserted by tests/test_obs.py.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpu.accounting import CpuAccountant
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               geometric_bounds)
+from repro.obs.samplers import PeriodicSampler, sample_host
+from repro.obs.trace import HOP_STAGES, NqeTracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NqeTracer",
+    "Observability", "PeriodicSampler", "geometric_bounds", "HOP_STAGES",
+]
+
+#: Which cycle ledger (group, component) backs each latency stage in the
+#: combined report.  ce.switch serves both directions of the switch.
+STAGE_CYCLE_SOURCES = {
+    "guest_to_ce": ("vms", "guestlib.prep"),
+    "ce_to_nsm": ("ce", "ce.switch"),
+    "nsm_service": ("nsms", "servicelib.dispatch"),
+    "nsm_to_ce": ("ce", "ce.switch"),
+    "ce_to_guest": ("vms", "guestlib.dispatch"),
+}
+
+
+class Observability:
+    """Facade wiring tracer + metrics + samplers into a NetKernelHost."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.registry = MetricsRegistry()
+        self.tracer = NqeTracer(sim, self.registry)
+        self.accountant = CpuAccountant()
+        self.sampler: Optional[PeriodicSampler] = None
+        self._host = None
+
+    # -- component hooks (hot path; must stay cheap and side-effect free) --
+
+    def on_guest_enqueue(self, nqe) -> None:
+        self.tracer.guest_enqueue(nqe)
+
+    def on_ce_switch(self, nqe, source_role: str) -> None:
+        self.tracer.ce_switch(nqe, source_role)
+
+    def on_nsm_consume(self, nqe) -> None:
+        self.tracer.nsm_consume(nqe)
+
+    def on_nsm_emit(self, nqe) -> None:
+        self.tracer.nsm_emit(nqe)
+
+    def on_guest_deliver(self, nqe) -> None:
+        self.tracer.guest_deliver(nqe)
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_host(self, host,
+                    sample_interval: Optional[float] = None) -> "Observability":
+        """Install hooks on a host's CoreEngine and all current (and
+        future — see NetKernelHost.add_vm/add_nsm) VMs and NSMs."""
+        self._host = host
+        host.obs = self
+        host.coreengine.obs = self
+        self.accountant.register("ce", [host.ce_core])
+        for vm in host.vms.values():
+            self.attach_vm(vm)
+        for nsm in host.nsms.values():
+            self.attach_nsm(nsm)
+        if sample_interval is not None:
+            self.sampler = PeriodicSampler(self.sim, sample_interval,
+                                           self.sample_now)
+        return self
+
+    def attach_vm(self, vm) -> None:
+        vm.guestlib.obs = self
+        self.accountant.register("vms", vm.cores)
+
+    def attach_nsm(self, nsm) -> None:
+        nsm.servicelib.obs = self
+        self.accountant.register("nsms", nsm.cores)
+
+    def sample_now(self) -> None:
+        """Snapshot rings/hugepages/token-buckets into gauges right now."""
+        if self._host is not None:
+            sample_host(self.registry, self._host)
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> dict:
+        """The combined per-stage latency + cycles report (JSON-ready)."""
+        self.sample_now()
+        component_cycles = {
+            group: self.accountant.by_component(group)
+            for group in self.accountant.groups()
+        }
+        stages = []
+        for snap in self.tracer.hop_snapshot():
+            group, component = STAGE_CYCLE_SOURCES[snap["stage"]]
+            stages.append({
+                "stage": snap["stage"],
+                "count": snap["count"],
+                "p50_us": snap["p50"] * 1e6,
+                "p95_us": snap["p95"] * 1e6,
+                "p99_us": snap["p99"] * 1e6,
+                "max_us": snap["max"] * 1e6,
+                "mean_us": snap["mean"] * 1e6,
+                "cycles": component_cycles.get(group, {}).get(component, 0.0),
+            })
+        ops = []
+        for prefix in ("nqe.e2e.", "nqe.oneway.", "nqe.event."):
+            for hist in self.registry.histograms_named(prefix):
+                snap = hist.snapshot()
+                ops.append({
+                    "op": hist.name.split(".", 2)[2],
+                    "kind": hist.name.split(".", 2)[1],
+                    "vm": hist.labels.get("vm"),
+                    "count": snap["count"],
+                    "p50_us": snap["p50"] * 1e6,
+                    "p95_us": snap["p95"] * 1e6,
+                    "p99_us": snap["p99"] * 1e6,
+                    "max_us": snap["max"] * 1e6,
+                })
+        rings = {}
+        for gauge in self.registry.gauges_named("ring."):
+            owner = gauge.labels["owner"]
+            ring = gauge.labels["ring"]
+            field = gauge.name.split(".", 1)[1]
+            rings.setdefault(f"{owner}.{ring}", {})[field] = gauge.value
+        hugepages = {}
+        for gauge in self.registry.gauges_named("hugepages."):
+            region = gauge.labels["region"]
+            field = gauge.name.split(".", 1)[1]
+            hugepages.setdefault(region, {})[field] = gauge.value
+        token_buckets = (self._host.coreengine.isolation_state()
+                         if self._host is not None else {})
+        report = {
+            "stages": stages,
+            "ops": ops,
+            "rings": rings,
+            "hugepages": hugepages,
+            "token_buckets": {str(vm): state
+                              for vm, state in token_buckets.items()},
+            "cycles": component_cycles,
+            "counters": {m.name: m.value
+                         for m in (self.tracer.traced,
+                                   self.tracer.dropped_records)},
+        }
+        if self._host is not None:
+            report["coreengine"] = self._host.coreengine.stats()
+        return report

@@ -1,0 +1,65 @@
+"""Periodic samplers: ring occupancy, hugepage watermarks, token buckets.
+
+A sampler is a simulation process that snapshots resource levels into
+gauges at a fixed interval.  Sampling reads state but never mutates the
+workload, so enabling it cannot change what the simulation computes —
+only *when* the observer looks.
+"""
+
+from __future__ import annotations
+
+
+class PeriodicSampler:
+    """Runs ``fn()`` every ``interval`` seconds of sim time."""
+
+    def __init__(self, sim, interval: float, fn):
+        if interval <= 0:
+            raise ValueError(f"sample interval must be positive: {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self.samples = 0
+        self._proc = sim.process(self._run())
+
+    def _run(self):
+        while True:
+            self.fn()
+            self.samples += 1
+            yield self.sim.timeout(self.interval)
+
+
+def sample_host(registry, host) -> None:
+    """One snapshot of a NetKernelHost's queues, memory, and buckets."""
+    now = host.sim.now
+
+    def sample_device(owner: str, device) -> None:
+        for ring_id, depths in device.ring_depths().items():
+            labels = {"owner": owner, "ring": ring_id}
+            registry.gauge("ring.depth", **labels).set(
+                depths["depth"], now)
+            registry.gauge("ring.peak_depth", **labels).set(
+                depths["peak"], now)
+
+    seen_regions = {}
+    for name, vm in host.vms.items():
+        device = vm.guestlib.device
+        sample_device(name, device)
+        seen_regions[device.hugepages.name] = device.hugepages
+    for name, nsm in host.nsms.items():
+        sample_device(name, nsm.servicelib.device)
+
+    for region_name, region in seen_regions.items():
+        marks = region.watermarks()
+        for key in ("allocated", "free", "peak_allocated", "live_buffers"):
+            registry.gauge(f"hugepages.{key}", region=region_name).set(
+                marks[key], now)
+
+    for vm_id, buckets in host.coreengine.isolation_state().items():
+        for kind, state in buckets.items():
+            labels = {"vm": vm_id, "kind": kind}
+            registry.gauge("token_bucket.tokens", **labels).set(
+                state["tokens"], now)
+            registry.gauge("token_bucket.burst", **labels).set(
+                state["burst"], now)
+            registry.gauge("token_bucket.rate", **labels).set(
+                state["rate"], now)

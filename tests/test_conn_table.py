@@ -80,3 +80,37 @@ class TestConnectionTable:
         table.remove_vm((1, 0, 1))
         assert table.inserted == 1
         assert table.removed == 1
+
+    def test_nsm_loads(self):
+        table = ConnectionTable()
+        assert table.nsm_loads() == {}
+        table.insert((1, 0, 1), nsm_id=7, nsm_queue_set=0)
+        table.insert((1, 0, 2), nsm_id=7, nsm_queue_set=0)
+        table.insert((2, 0, 1), nsm_id=8, nsm_queue_set=0)
+        assert table.nsm_loads() == {7: 2, 8: 1}
+        table.remove_vm((1, 0, 1))
+        assert table.nsm_loads() == {7: 1, 8: 1}
+
+
+class TestLoadBalancedAssignment:
+    def test_assign_vm_auto_uses_live_connection_counts(self):
+        """assign_vm_auto balances on the public nsm_loads() signal."""
+        from repro.core.coreengine import CoreEngine
+        from repro.cpu.core import Core
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        engine = CoreEngine(sim, Core(sim))
+        nsm_a, _ = engine.register_nsm("a", queue_sets=1)
+        nsm_b, _ = engine.register_nsm("b", queue_sets=1)
+        nsm_c, _ = engine.register_nsm("c", queue_sets=1)
+        # a: 2 connections, b: 1, c: 0 -> c wins, then b.
+        engine.table.insert((90, 0, 1), nsm_a, 0)
+        engine.table.insert((90, 0, 2), nsm_a, 0)
+        engine.table.insert((91, 0, 1), nsm_b, 0)
+        vm1, _ = engine.register_vm("vm1", queue_sets=1)
+        vm2, _ = engine.register_vm("vm2", queue_sets=1)
+        assert engine.assign_vm_auto(vm1) == nsm_c
+        # Assignment alone adds no table entries, so c still has zero
+        # live connections and wins again (ties break by id order).
+        assert engine.assign_vm_auto(vm2) == nsm_c

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.coreengine import CoreEngine, TokenBucket
 from repro.core.host import NetKernelHost
+from repro.core.nqe import Nqe, NqeOp
 from repro.cpu.core import Core
 from repro.errors import ConfigurationError
 from repro.net.fabric import Network
@@ -50,6 +51,40 @@ class TestTokenBucket:
     def test_invalid_rate(self, sim):
         with pytest.raises(ConfigurationError):
             TokenBucket(sim, rate_per_sec=0.0, burst=1.0)
+
+    def test_oversized_consume_does_not_widen_burst(self, sim):
+        # Regression: an oversized request used to permanently widen the
+        # burst, weakening the cap for the rest of the run.
+        bucket = TokenBucket(sim, rate_per_sec=1000.0, burst=100.0)
+        bucket.try_consume(500.0)
+        assert bucket.burst == pytest.approx(100.0)
+
+    def test_time_until_does_not_widen_burst(self, sim):
+        bucket = TokenBucket(sim, rate_per_sec=1000.0, burst=100.0)
+        bucket.time_until(500.0)
+        assert bucket.burst == pytest.approx(100.0)
+
+    def test_oversized_enforces_average_rate(self, sim):
+        # An oversized op is admitted at a full bucket and runs a token
+        # deficit, so back-to-back oversized ops still average the rate.
+        bucket = TokenBucket(sim, rate_per_sec=1000.0, burst=100.0)
+        assert bucket.try_consume(500.0)       # full bucket: admitted
+        assert bucket.tokens == pytest.approx(-400.0)
+        assert not bucket.try_consume(500.0)   # deficit: denied
+        # Refilling back to full takes (500 tokens)/(1000/s) = 0.5 s,
+        # i.e. exactly one 500-token op per 0.5 s -> 1000 tokens/s.
+        assert bucket.time_until(500.0) == pytest.approx(0.5)
+        sim.timeout(0.5)
+        sim.run()
+        assert bucket.try_consume(500.0)
+
+    def test_refund_clamped_to_burst(self, sim):
+        # Regression: the ops-failure refund used to add tokens without
+        # clamping, letting the level exceed the configured burst.
+        bucket = TokenBucket(sim, rate_per_sec=1000.0, burst=100.0)
+        bucket.try_consume(50.0)
+        bucket.refund(500.0)
+        assert bucket.tokens == pytest.approx(100.0)
 
 
 class TestRegistration:
@@ -186,6 +221,70 @@ class TestIsolation:
         host, received = _throughput_host(sim, {"vm1": mbps(10)})
         sim.run(until=1.0)
         assert host.coreengine.rate_limited_stalls > 0
+
+
+class TestControlOpsAdmission:
+    def test_control_ring_ops_are_rate_limited(self, sim):
+        # Regression: job-queue (control) NQEs used to be popped before
+        # any admission check, bypassing the §4.4 per-VM ops bucket.
+        engine = CoreEngine(sim, Core(sim))
+        nsm_id, nsm_dev = engine.register_nsm("nsm", queue_sets=1)
+        vm_id, vm_dev = engine.register_vm("vm", queue_sets=1)
+        engine.assign_vm(vm_id, nsm_id)
+        engine.set_ops_limit(vm_id, 100.0)  # burst = 1 op
+
+        control_ring, _ = vm_dev.produce_rings(vm_dev.queue_sets[0])
+        for i in range(50):
+            control_ring.push(Nqe(NqeOp.SOCKET, vm_id, 0, 100 + i),
+                              owner="guest")
+        vm_dev.ring_doorbell()
+        sim.run(until=0.1)
+
+        # 100 ops/s over 0.1 s plus the 1-op burst admits ~11 NQEs; the
+        # pre-fix engine switches all 50 immediately.
+        assert engine.nqes_switched <= 20
+        assert engine.nqes_switched >= 5
+        assert engine.rate_limited_stalls > 0
+
+
+class _SlowScanEngine(CoreEngine):
+    """CoreEngine whose per-device scan has an explicit suspension point,
+    modelling any mid-pass yield (batch cost charging, backpressure...)
+    so the kick-during-scan window can be hit deterministically."""
+
+    def _service_device(self, reg):
+        yield self.sim.timeout(1e-9)
+        return (yield from super()._service_device(reg))
+
+
+class TestDoorbellRace:
+    def test_kick_mid_scan_is_not_lost(self, sim):
+        # Regression (lost-doorbell wakeup race): a kick() that fires
+        # while _run is suspended mid-scan succeeds the old doorbell and
+        # installs a fresh one.  If the push landed after its rings were
+        # scanned and the pass otherwise made no progress, an engine that
+        # sleeps on the *fresh* doorbell sleeps forever — nobody will
+        # ring it again.  The fix captures the doorbell before the scan.
+        engine = _SlowScanEngine(sim, Core(sim))
+        nsm_id, _ = engine.register_nsm("nsm", queue_sets=1)
+        vma_id, vma_dev = engine.register_vm("vma", queue_sets=1)
+        vmb_id, _ = engine.register_vm("vmb", queue_sets=1)
+        engine.assign_vm(vma_id, nsm_id)
+        engine.assign_vm(vmb_id, nsm_id)
+
+        def producer():
+            # The pass scans vma at t=1ns, vmb at 2ns, nsm at 3ns; this
+            # push+kick lands at 2.5ns — after vma's rings were scanned,
+            # while the engine is suspended on the nsm scan step.
+            yield sim.timeout(2.5e-9)
+            ring, _ = vma_dev.produce_rings(vma_dev.queue_sets[0])
+            ring.push(Nqe(NqeOp.SOCKET, vma_id, 0, 7), owner="guest")
+            vma_dev.ring_doorbell()
+
+        sim.process(producer())
+        sim.run(until=0.01)
+        assert not vma_dev.produce_pending(), "push never scanned: stalled"
+        assert engine.nqes_switched == 1
 
 
 class TestAutoAssignment:

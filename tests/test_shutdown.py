@@ -104,3 +104,62 @@ class TestHalfClose:
         client_vm.spawn(client())
         sim.run(until=5.0)
         assert outcome.get("rejected")
+
+
+class TestDeregisteredVmDrop:
+    """NQEs in flight toward a VM that deregistered mid-delivery."""
+
+    def test_dropped_event_frees_hugepage_buffer(self):
+        # Regression: CoreEngine used to discard NQEs addressed to a
+        # vanished VM without releasing their hugepage payload, leaking
+        # the buffer for the lifetime of the region.
+        from repro.core.coreengine import CoreEngine
+        from repro.core.nqe import Nqe, NqeOp
+        from repro.cpu.core import Core
+        from repro.mem.hugepages import HugepageRegion
+
+        sim = Simulator()
+        engine = CoreEngine(sim, Core(sim))
+        region = HugepageRegion(name="vm.hp")
+        nsm_id, nsm_dev = engine.register_nsm("nsm", queue_sets=1)
+        vm_id, _ = engine.register_vm("vm", queue_sets=1, hugepages=region)
+        engine.assign_vm(vm_id, nsm_id)
+
+        # The NSM has produced a data event for the VM...
+        buffer = region.alloc(4096)
+        buffer.write(b"d" * 4096)
+        _, receive_ring = nsm_dev.produce_rings(nsm_dev.queue_sets[0])
+        receive_ring.push(
+            Nqe(NqeOp.DATA_ARRIVED, vm_id, 0, 1,
+                data_ptr=buffer.buffer_id, size=4096),
+            owner="servicelib")
+        # ...but the VM shuts down before CoreEngine switches it.
+        engine.deregister(vm_id)
+        nsm_dev.ring_doorbell()
+        sim.run(until=0.01)
+
+        assert engine.nqes_dropped == 1
+        assert engine.stats()["nqes_dropped"] == 1
+        assert buffer.freed
+        assert region.live_buffers == 0
+        assert region.allocated == 0
+
+    def test_drop_without_payload_only_counts(self):
+        from repro.core.coreengine import CoreEngine
+        from repro.core.nqe import Nqe, NqeOp
+        from repro.cpu.core import Core
+
+        sim = Simulator()
+        engine = CoreEngine(sim, Core(sim))
+        nsm_id, nsm_dev = engine.register_nsm("nsm", queue_sets=1)
+        vm_id, _ = engine.register_vm("vm", queue_sets=1)
+        engine.assign_vm(vm_id, nsm_id)
+
+        completion_ring, _ = nsm_dev.produce_rings(nsm_dev.queue_sets[0])
+        completion_ring.push(
+            Nqe(NqeOp.OP_RESULT, vm_id, 0, 1), owner="servicelib")
+        engine.deregister(vm_id)
+        nsm_dev.ring_doorbell()
+        sim.run(until=0.01)
+
+        assert engine.nqes_dropped == 1
