@@ -13,6 +13,13 @@ stats
     Run a quickstart-style workload with the repro.obs layer enabled and
     print per-stage NQE latency, ring occupancy, and token-bucket state
     (``--json`` for machine-readable output).
+bench
+    Run the wall-clock perf harness (``repro.perf``): events/sec, NQE
+    switches/sec, fig. 8 multiplexing at 10/100/1000 VMs (ready-set vs
+    full-scan speedup + timeline-identity check), and an end-to-end RPS
+    workload.  ``--out`` writes one ``BENCH_<name>.json`` per result;
+    ``--floors`` fails the run when a wall time regresses more than 2x
+    against the checked-in floor.
 """
 
 from __future__ import annotations
@@ -174,7 +181,49 @@ def _cmd_stats(as_json: bool, transfer_bytes: int) -> int:
           f"{ce['rate_limited_stalls']} rate-limit stalls, "
           f"{ce['nqes_dropped']} drops; "
           f"transferred {done.get('server_bytes', 0)} B")
+    print(f"Scheduler: mode={ce['sched.mode']} "
+          f"passes={ce['sched.passes']} "
+          f"stale_wakeups={ce['sched.stale_wakeups']} "
+          "(stall timeouts disarmed after a doorbell won the race)")
     return 0
+
+
+def _cmd_bench(names: List[str], quick: bool, out_dir: str,
+               floors_path: str) -> int:
+    from repro.perf import check_floors, run_benchmarks, write_results
+
+    try:
+        results = run_benchmarks(names or None, quick=quick)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 1
+    for name, result in results.items():
+        line = (f"  {name:<16} wall={result['wall_s']:.3f}s "
+                f"events={result['events']} "
+                f"peak_rss={result['peak_rss']}KiB")
+        if "speedup_vs_full" in result:
+            line += (f" speedup={result['speedup_vs_full']:.2f}x "
+                     f"identical={result['fingerprint_match']}")
+        print(line)
+    if out_dir:
+        for path in write_results(results, out_dir):
+            print(f"wrote {path}")
+    exit_code = 0
+    mismatched = [n for n, r in results.items()
+                  if r.get("fingerprint_match") is False]
+    if mismatched:
+        print(f"TIMELINE DIVERGENCE between scan modes: {mismatched}",
+              file=sys.stderr)
+        exit_code = 1
+    if floors_path:
+        with open(floors_path) as handle:
+            floors = json.load(handle)
+        failures = check_floors(results, floors)
+        for failure in failures:
+            print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            exit_code = 1
+    return exit_code
 
 
 def _cmd_calibration() -> int:
@@ -204,6 +253,16 @@ def main(argv: List[str] = None) -> int:
                               help="emit the full report as JSON")
     stats_parser.add_argument("--bytes", type=int, default=1 << 20,
                               help="bytes the client transfers (default 1MiB)")
+    bench_parser = sub.add_parser(
+        "bench", help="run wall-clock performance benchmarks")
+    bench_parser.add_argument("names", nargs="*",
+                              help="benchmark names (default: all)")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="shrink workloads for CI smoke runs")
+    bench_parser.add_argument("--out", default="",
+                              help="directory for BENCH_<name>.json files")
+    bench_parser.add_argument("--floors", default="",
+                              help="JSON of wall-time floors; fail at >2x")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -214,6 +273,8 @@ def main(argv: List[str] = None) -> int:
         return _cmd_calibration()
     if args.command == "stats":
         return _cmd_stats(args.json, args.bytes)
+    if args.command == "bench":
+        return _cmd_bench(args.names, args.quick, args.out, args.floors)
     return 1
 
 

@@ -1,8 +1,8 @@
 """CoreEngine: the software switch and control plane (§4.3, §4.4).
 
-CoreEngine polls every NK device round-robin, consumes produced NQEs in
-batches, charges the calibrated switching cost to its dedicated core, and
-copies each NQE into the proper ring of the destination device:
+CoreEngine consumes produced NQEs in batches, charges the calibrated
+switching cost to its dedicated core, and copies each NQE into the proper
+ring of the destination device:
 
 * VM → NSM: job-queue ops to the NSM's job ring, send ops to its send
   ring.  The connection table maps ⟨VM id, queue set, socket id⟩ to the
@@ -13,10 +13,19 @@ copies each NQE into the proper ring of the destination device:
 Isolation (§4.4, Fig. 21): round-robin polling gives basic fairness;
 per-VM token buckets rate-limit bandwidth (bytes through send NQEs)
 and/or operations (NQEs per second).  Egress only, as in the paper.
+
+Scheduling (§4.3's interrupt-driven polling, applied to the switch
+itself): with ``scan="ready"`` (the default) doorbells carry the kicking
+device and the switch services only a dirty set of ready devices, so one
+wake-up costs O(ready devices), not O(registered devices).
+``scan="full"`` preserves the rescan-everything loop; both modes produce
+bit-identical simulated timelines (see _run_ready for the invariants),
+the ready set only removes wall-clock work.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from typing import Dict, List, Optional, Tuple
 
@@ -79,10 +88,35 @@ class TokenBucket:
         self.tokens = min(self.burst, self.tokens + amount)
 
 
+#: Scan-loop flavours: "ready" services only doorbelled devices; "full"
+#: rescans every registered device on every pass (the seed behaviour,
+#: kept for determinism comparisons).
+SCAN_MODES = ("ready", "full")
+
+#: Default used by CoreEngine(scan=None); the determinism suite and the
+#: perf harness flip this to run unchanged experiments under both modes.
+DEFAULT_SCAN_MODE = "ready"
+
+#: _Registration.state values.
+_IDLE, _READY = 0, 1
+
+
 class _Registration:
-    def __init__(self, numeric_id: int, device: NKDevice):
+    __slots__ = ("numeric_id", "device", "key", "state", "birth_pass",
+                 "active")
+
+    def __init__(self, numeric_id: int, device: NKDevice,
+                 key: Tuple[int, int], birth_pass: int):
         self.numeric_id = numeric_id
         self.device = device
+        #: (role rank, numeric id): the full scan's visiting order, used
+        #: as the ready-heap priority so both modes service identically.
+        self.key = key
+        self.state = _IDLE
+        #: Pass number at registration: a device registered mid-pass is
+        #: deferred to the next pass, like the full scan's snapshot.
+        self.birth_pass = birth_pass
+        self.active = True
 
 
 class CoreEngine:
@@ -90,14 +124,20 @@ class CoreEngine:
 
     def __init__(self, sim, core: Core,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 batch_size: int = 4, ring_slots: int = 4096):
+                 batch_size: int = 4, ring_slots: int = 4096,
+                 scan: Optional[str] = None):
         if batch_size < 1:
             raise ConfigurationError(f"batch size must be >=1: {batch_size}")
+        scan = DEFAULT_SCAN_MODE if scan is None else scan
+        if scan not in SCAN_MODES:
+            raise ConfigurationError(
+                f"unknown scan mode {scan!r}; choose from {SCAN_MODES}")
         self.sim = sim
         self.core = core
         self.cost = cost_model
         self.batch_size = batch_size
         self.ring_slots = ring_slots
+        self.scan = scan
 
         self.table = ConnectionTable()
         self._vms: Dict[int, _Registration] = {}
@@ -113,11 +153,24 @@ class CoreEngine:
         # in-flight NQEs for a vanished VM can still free their payloads.
         self._vm_regions: Dict[int, HugepageRegion] = {}
 
+        # Ready-set scheduler state (scan="ready").  Two heaps replicate
+        # the full scan's pass structure: _current_pass holds devices to
+        # service this pass in key order, _next_pass collects devices
+        # that became ready at or behind the scan position.
+        self._current_pass: List[Tuple[Tuple[int, int], _Registration]] = []
+        self._next_pass: List[Tuple[Tuple[int, int], _Registration]] = []
+        self._pass_pos: Optional[Tuple[int, int]] = None
+        self._pass_counter = 0
+        self._in_pass = False
+
         # Statistics.
         self.nqes_switched = 0
         self.batches = 0
         self.rate_limited_stalls = 0
         self.nqes_dropped = 0
+        #: Stall timeouts disarmed because the doorbell won the any_of
+        #: race (each one used to linger in the event heap as a no-op).
+        self.stale_wakeups = 0
 
         # Observability (repro.obs); None means tracing is disabled and
         # the hot path pays nothing beyond the attribute check.
@@ -125,7 +178,8 @@ class CoreEngine:
 
         self._doorbell = sim.event()
         self._running = True
-        self._process = sim.process(self._run())
+        run = self._run_ready if scan == "ready" else self._run_full
+        self._process = sim.process(run())
 
     # ------------------------------------------------------------- control --
 
@@ -156,7 +210,10 @@ class CoreEngine:
         device.doorbell = self.kick
         self.core.charge(self.cost.ce_device_setup, "ce.device_setup")
         registry = self._vms if role == ROLE_VM else self._nsms
-        registry[numeric_id] = _Registration(numeric_id, device)
+        key = (0 if role == ROLE_VM else 1, numeric_id)
+        reg = _Registration(numeric_id, device, key, self._pass_counter)
+        registry[numeric_id] = reg
+        device.ce_registration = reg
         if role == ROLE_VM:
             self._vm_regions[numeric_id] = hugepages
         return numeric_id, device
@@ -167,10 +224,13 @@ class CoreEngine:
         if numeric_id in self._vms:
             for entry in self.table.entries_for_vm(numeric_id):
                 self.table.remove_vm(entry.vm_tuple)
-            del self._vms[numeric_id]
+            reg = self._vms.pop(numeric_id)
             self.vm_to_nsm.pop(numeric_id, None)
         else:
-            self._nsms.pop(numeric_id, None)
+            reg = self._nsms.pop(numeric_id, None)
+        if reg is not None:
+            # Ready-heap entries for this device are skipped lazily.
+            reg.active = False
 
     def assign_vm(self, vm_id: int, nsm_id: int) -> None:
         """Bind a VM to the NSM that will serve it (user choice or LB)."""
@@ -223,8 +283,22 @@ class CoreEngine:
 
     # ----------------------------------------------------------------- loop --
 
-    def kick(self) -> None:
-        """Doorbell: new NQEs were produced somewhere."""
+    def kick(self, device: Optional[NKDevice] = None) -> None:
+        """Doorbell: new NQEs were produced somewhere.
+
+        ``device`` identifies the producer so the ready-set scheduler can
+        mark exactly it dirty; ``None`` (manual kicks, ``stop()``)
+        conservatively marks every registered device.
+        """
+        if self.scan == "ready":
+            if device is not None:
+                reg = device.ce_registration
+                if reg is not None and reg.active:
+                    self._mark_ready(reg)
+            else:
+                for registry in (self._vms, self._nsms):
+                    for reg in registry.values():
+                        self._mark_ready(reg)
         if not self._doorbell.triggered:
             self._doorbell.succeed()
             self._doorbell = self.sim.event()
@@ -234,7 +308,22 @@ class CoreEngine:
         self._running = False
         self.kick()
 
-    def _run(self):
+    def _mark_ready(self, reg: _Registration) -> None:
+        """Enqueue a device into the dirty set, placed where the full
+        scan would next visit it: ahead of the scan position → later this
+        pass; at/behind it (or registered mid-pass) → next pass."""
+        if reg.state == _READY or not reg.active:
+            return
+        reg.state = _READY
+        if self._in_pass and (reg.birth_pass == self._pass_counter
+                              or (self._pass_pos is not None
+                                  and reg.key <= self._pass_pos)):
+            heapq.heappush(self._next_pass, (reg.key, reg))
+        else:
+            heapq.heappush(self._current_pass, (reg.key, reg))
+
+    def _run_full(self):
+        """scan="full": rescan every registered device on every pass."""
         while self._running:
             # Capture the doorbell *before* scanning.  kick() fired while
             # the scan is suspended mid-pass succeeds the old event and
@@ -242,6 +331,7 @@ class CoreEngine:
             # the wakeup for a push that landed just after its rings were
             # scanned (lost-doorbell race).
             doorbell = self._doorbell
+            self._pass_counter += 1
             progressed = False
             stall: Optional[float] = None
             for registry in (self._vms, self._nsms):
@@ -256,12 +346,80 @@ class CoreEngine:
             if doorbell.triggered:
                 # Kicked mid-scan: rescan rather than sleeping past it.
                 continue
-            # Idle (or rate-limited): sleep until a doorbell or tokens.
-            waits = [doorbell]
-            if stall is not None:
-                self.rate_limited_stalls += 1
-                waits.append(self.sim.timeout(max(stall, 1e-6)))
-            yield self.sim.any_of(waits)
+            yield from self._idle_sleep(doorbell, stall)
+
+    def _run_ready(self):
+        """scan="ready": service only the dirty set of kicked devices.
+
+        Bit-identity with the full scan rests on three invariants:
+
+        * Idle devices cost the full scan zero *simulated* time (no
+          yields), so skipping them changes wall-clock only.  Devices
+          with work are visited in the same order — the heap priority is
+          the full scan's (role, id) visiting order, and a device kicked
+          at/behind the scan position waits for the next pass, exactly
+          like a push landing behind the full scan's cursor.
+        * A rate-stalled device is re-armed for the *next pass* rather
+          than parked until its token deadline: the full scan re-runs
+          its admission check every pass, and TokenBucket refills are
+          float-path-dependent, so skipping rechecks would diverge in
+          the last ulp.  The deadline ordering survives as the sleep
+          timeout (min stall seen this pass), which is exactly the
+          earliest stalled device's deadline.
+        * The sleep itself (doorbell capture, any_of shape, stall
+          counter) is shared with the full scan via _idle_sleep, so the
+          event-heap contents — and therefore tie-breaking among
+          same-timestamp events — are identical.
+        """
+        while self._running:
+            doorbell = self._doorbell
+            self._pass_counter += 1
+            self._in_pass = True
+            progressed = False
+            stall: Optional[float] = None
+            current = self._current_pass
+            while current:
+                _key, reg = heapq.heappop(current)
+                if reg.state != _READY or not reg.active:
+                    continue
+                self._pass_pos = reg.key
+                reg.state = _IDLE
+                result = yield from self._service_device(reg)
+                if result is True:
+                    progressed = True
+                    if reg.state == _IDLE and reg.device.produce_pending():
+                        # Leftovers past the batch cap (or pushed while
+                        # routing): revisit next pass, as the full scan's
+                        # rescan-on-progress would.
+                        self._mark_ready(reg)
+                elif isinstance(result, float):
+                    stall = result if stall is None else min(stall, result)
+                    # Re-arm for the next pass's admission recheck.
+                    self._mark_ready(reg)
+            self._in_pass = False
+            self._pass_pos = None
+            self._current_pass, self._next_pass = (self._next_pass,
+                                                   self._current_pass)
+            if progressed:
+                continue
+            if doorbell.triggered:
+                continue
+            yield from self._idle_sleep(doorbell, stall)
+
+    def _idle_sleep(self, doorbell, stall: Optional[float]):
+        """Sleep until a doorbell or (when rate-stalled) token refill."""
+        waits = [doorbell]
+        timeout = None
+        if stall is not None:
+            self.rate_limited_stalls += 1
+            timeout = self.sim.timeout(max(stall, 1e-6))
+            waits.append(timeout)
+        yield self.sim.any_of(waits)
+        if timeout is not None and not timeout.processed:
+            # The doorbell won the race: disarm the stall timeout so it
+            # does not linger in the event heap and fire as a no-op.
+            timeout.cancel()
+            self.stale_wakeups += 1
 
     def _service_device(self, reg: _Registration):
         """Drain one device's produced rings; returns True, None, or a
@@ -269,21 +427,38 @@ class CoreEngine:
         device = reg.device
         progressed = False
         stall: Optional[float] = None
+        if device.role == ROLE_VM:
+            bw = self._bw_limits.get(reg.numeric_id)
+            ops = self._op_limits.get(reg.numeric_id)
+        else:
+            bw = ops = None
+        batch_size = self.batch_size
         for qs in device.queue_sets:
             batch: List[Nqe] = []
             # Every VM-egress NQE — job-queue ops included — must pass the
             # §4.4 admission check; popping the control ring unchecked
             # would let a rate-capped VM blast unlimited control ops.
             for ring in device.produce_rings(qs):
-                while len(batch) < self.batch_size:
-                    nqe: Optional[Nqe] = ring.peek(owner=self)
+                room = batch_size - len(batch)
+                if room == 0:
+                    break
+                if ring.empty:
+                    continue
+                # One ownership check per drain; the per-item operations
+                # below run unchecked (owner=None is a no-op check).
+                ring.claim_consumer(self)
+                if bw is None and ops is None:
+                    batch.extend(ring.pop_batch(room))
+                    continue
+                while len(batch) < batch_size:
+                    nqe: Optional[Nqe] = ring.peek()
                     if nqe is None:
                         break
-                    wait = self._admission_delay(reg, device, nqe)
+                    wait = self._admission_delay(bw, ops, nqe)
                     if wait > 0:
                         stall = wait if stall is None else min(stall, wait)
                         break
-                    ring.pop(owner=self)
+                    ring.pop()
                     batch.append(nqe)
             if not batch:
                 continue
@@ -297,18 +472,15 @@ class CoreEngine:
             return True
         return stall
 
-    def _admission_delay(self, reg: _Registration, device: NKDevice,
-                         nqe: Nqe) -> float:
+    @staticmethod
+    def _admission_delay(bw: Optional[TokenBucket],
+                         ops: Optional[TokenBucket], nqe: Nqe) -> float:
         """Seconds until this (VM-egress) NQE passes its token buckets."""
-        if device.role != ROLE_VM:
-            return 0.0
         delay = 0.0
-        bw = self._bw_limits.get(reg.numeric_id)
         if bw is not None:
             bits = nqe.size * 8.0
             if not bw.try_consume(bits):
                 return max(bw.time_until(bits), 1e-6)
-        ops = self._op_limits.get(reg.numeric_id)
         if ops is not None:
             if not ops.try_consume(1.0):
                 delay = max(ops.time_until(1.0), 1e-6)
@@ -399,6 +571,9 @@ class CoreEngine:
             "connections": len(self.table),
             "rate_limited_stalls": self.rate_limited_stalls,
             "nqes_dropped": self.nqes_dropped,
+            "sched.mode": self.scan,
+            "sched.passes": self._pass_counter,
+            "sched.stale_wakeups": self.stale_wakeups,
         }
 
     def isolation_state(self) -> dict:

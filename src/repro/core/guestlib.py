@@ -24,7 +24,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.nk_device import NKDevice
-from repro.core.nqe import ERRNO_NAMES, Nqe, NqeOp
+from repro.core.nqe import ERRNO_NAMES, NQE_POOL, Nqe, NqeOp
 from repro.cpu.core import Core
 from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.errors import (
@@ -250,9 +250,9 @@ class GuestLib:
         """Send a control NQE and block until its response NQE arrives."""
         core = self._core_for(vcpu)
         yield core.execute(self.cost.guestlib_nqe_prep, "guestlib.prep")
-        nqe = Nqe(op, self.vm_id, sock.home_qset, sock.sock_id,
-                  op_data=op_data, data_ptr=data_ptr, size=size, aux=aux,
-                  created_at=self.sim.now)
+        nqe = NQE_POOL.acquire(op, self.vm_id, sock.home_qset, sock.sock_id,
+                               op_data=op_data, data_ptr=data_ptr, size=size,
+                               aux=aux, created_at=self.sim.now)
         event = self.sim.event()
         self._pending[nqe.token] = event
         yield from self._push(sock.home_qset, nqe)
@@ -377,9 +377,10 @@ class GuestLib:
             buffer.write(bytes(chunk))
             yield core.execute(self.cost.hugepage_copy_cycles(len(chunk)),
                                "guestlib.send_copy")
-            nqe = Nqe(NqeOp.SEND, self.vm_id, sock.home_qset, sock.sock_id,
-                      data_ptr=buffer.buffer_id, size=len(chunk),
-                      created_at=self.sim.now)
+            nqe = NQE_POOL.acquire(
+                NqeOp.SEND, self.vm_id, sock.home_qset, sock.sock_id,
+                data_ptr=buffer.buffer_id, size=len(chunk),
+                created_at=self.sim.now)
             yield from self._push(sock.home_qset, nqe, data=True)
             sock.tx_inflight += len(chunk)
             sock.bytes_sent += len(chunk)
@@ -407,9 +408,10 @@ class GuestLib:
         buffer.write(bytes(data))
         yield core.execute(self.cost.hugepage_copy_cycles(len(data)),
                            "guestlib.send_copy")
-        nqe = Nqe(NqeOp.SENDTO, self.vm_id, sock.home_qset, sock.sock_id,
-                  data_ptr=buffer.buffer_id, size=len(data),
-                  aux={"dest": dest}, created_at=self.sim.now)
+        nqe = NQE_POOL.acquire(
+            NqeOp.SENDTO, self.vm_id, sock.home_qset, sock.sock_id,
+            data_ptr=buffer.buffer_id, size=len(data),
+            aux={"dest": dest}, created_at=self.sim.now)
         yield from self._push(sock.home_qset, nqe, data=True)
         sock.tx_inflight += len(data)
         sock.bytes_sent += len(data)
@@ -485,8 +487,9 @@ class GuestLib:
         if sock.rx_consumed_uncredited >= RECV_CREDIT_QUANTUM and not sock.peer_closed:
             credit = sock.rx_consumed_uncredited
             sock.rx_consumed_uncredited = 0
-            nqe = Nqe(NqeOp.RECV_CREDIT, self.vm_id, sock.home_qset,
-                      sock.sock_id, op_data=credit, created_at=self.sim.now)
+            nqe = NQE_POOL.acquire(
+                NqeOp.RECV_CREDIT, self.vm_id, sock.home_qset,
+                sock.sock_id, op_data=credit, created_at=self.sim.now)
             yield from self._push(sock.home_qset, nqe)
 
     def close(self, sock: NetKernelSocket, vcpu: int = 0):
@@ -603,6 +606,10 @@ class GuestLib:
                 if self.obs is not None:
                     self.obs.on_guest_deliver(nqe)
                 self._dispatch(nqe, qset_index)
+                # GuestLib is the final consumer of event NQEs; OP_RESULT
+                # elements are handed to the blocked caller and stay live.
+                if nqe.op is not NqeOp.OP_RESULT:
+                    NQE_POOL.release(nqe)
 
     def _dispatch(self, nqe: Nqe, qset_index: int) -> None:
         if nqe.op in (NqeOp.OP_RESULT,):
@@ -661,9 +668,9 @@ class GuestLib:
         child.bound_port = listener.bound_port
         self.fd_table[fd] = child
         self._by_sock_id[child.sock_id] = child
-        attach = Nqe(NqeOp.ACCEPT_ATTACH, self.vm_id, child.home_qset,
-                     child.sock_id, op_data=nqe.op_data,
-                     created_at=self.sim.now)
+        attach = NQE_POOL.acquire(
+            NqeOp.ACCEPT_ATTACH, self.vm_id, child.home_qset,
+            child.sock_id, op_data=nqe.op_data, created_at=self.sim.now)
         self.sim.process(self._push(child.home_qset, attach))
         return child
 

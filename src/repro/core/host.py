@@ -40,14 +40,15 @@ class NetKernelHost:
 
     def __init__(self, sim, network: Optional[Network] = None,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 ce_batch_size: int = 4, name: str = "host"):
+                 ce_batch_size: int = 4, name: str = "host",
+                 ce_scan: Optional[str] = None):
         self.sim = sim
         self.name = name
         self.cost = cost_model
         self.network = network if network is not None else Network(sim)
         self.ce_core = Core(sim, name=f"{name}.ce", hz=cost_model.core_hz)
         self.coreengine = CoreEngine(sim, self.ce_core, cost_model,
-                                     batch_size=ce_batch_size)
+                                     batch_size=ce_batch_size, scan=ce_scan)
         self.vms: Dict[str, GuestVM] = {}
         self.nsms: Dict[str, NetworkStackModule] = {}
         #: Observability (repro.obs); None = tracing disabled (default).

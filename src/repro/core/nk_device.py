@@ -45,8 +45,12 @@ class NKDevice:
         ]
         self.hugepages = hugepages
         self.poll_window_sec = poll_window_sec
-        #: Doorbell toward CoreEngine (installed at registration).
-        self.doorbell: Optional[Callable[[], None]] = None
+        #: Doorbell toward CoreEngine (installed at registration); called
+        #: with this device so the CE can mark exactly it ready (§4.3).
+        self.doorbell: Optional[Callable[["NKDevice"], None]] = None
+        #: Back-reference installed by CoreEngine at registration; lets a
+        #: device-carrying doorbell resolve to its scheduler entry in O(1).
+        self.ce_registration = None
         #: Event consumers wait on; re-armed after each wake.
         self._wake_event = sim.event()
         self._poll_started_at: Optional[float] = None
@@ -82,9 +86,14 @@ class NKDevice:
     # -- notifications -------------------------------------------------------------
 
     def ring_doorbell(self) -> None:
-        """Tell CoreEngine that freshly produced NQEs are waiting."""
+        """Tell CoreEngine that freshly produced NQEs are waiting.
+
+        The doorbell identifies the kicking device, so CoreEngine's
+        ready-set scheduler services just this device instead of
+        rescanning every registered one.
+        """
         if self.doorbell is not None:
-            self.doorbell()
+            self.doorbell(self)
 
     def wake(self) -> None:
         """CoreEngine delivered inbound NQEs: wake a sleeping consumer."""

@@ -81,6 +81,16 @@ class Nqe:
                  socket_id: int, op_data: int = 0, data_ptr: int = 0,
                  size: int = 0, token: Optional[int] = None,
                  aux: Any = None, created_at: float = 0.0):
+        self._reinit(op, vm_id, queue_set_id, socket_id, op_data=op_data,
+                     data_ptr=data_ptr, size=size, token=token, aux=aux,
+                     created_at=created_at)
+
+    def _reinit(self, op: NqeOp, vm_id: int, queue_set_id: int,
+                socket_id: int, op_data: int = 0, data_ptr: int = 0,
+                size: int = 0, token: Optional[int] = None,
+                aux: Any = None, created_at: float = 0.0) -> "Nqe":
+        """(Re)initialize every field — shared by __init__ and the pool,
+        so a recycled element is indistinguishable from a fresh one."""
         self.op = NqeOp(op)
         self.vm_id = vm_id
         self.queue_set_id = queue_set_id
@@ -94,6 +104,7 @@ class Nqe:
         #: Sim-time stamps written by repro.obs when tracing is enabled;
         #: stays None otherwise (not part of the 32-byte wire format).
         self.trace = None
+        return self
 
     # -- wire format -------------------------------------------------------
 
@@ -115,9 +126,10 @@ class Nqe:
     def response(self, op: NqeOp, op_data: int = 0, data_ptr: int = 0,
                  size: int = 0, aux: Any = None) -> "Nqe":
         """A response NQE carrying this request's VM tuple and token."""
-        return Nqe(op, self.vm_id, self.queue_set_id, self.socket_id,
-                   op_data=op_data, data_ptr=data_ptr, size=size,
-                   token=self.token, aux=aux)
+        return NQE_POOL.acquire(op, self.vm_id, self.queue_set_id,
+                                self.socket_id, op_data=op_data,
+                                data_ptr=data_ptr, size=size,
+                                token=self.token, aux=aux)
 
     @property
     def vm_tuple(self):
@@ -127,6 +139,70 @@ class Nqe:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<NQE {self.op.name} vm={self.vm_id} qs={self.queue_set_id} "
                 f"sock={self.socket_id} size={self.size}>")
+
+
+class NqePool:
+    """Free-list of :class:`Nqe` objects (the datapath's only high-volume
+    allocation besides events).
+
+    The real system's queue elements live in preallocated shared-memory
+    slots; this is the simulator's analogue.  ``acquire`` reuses a
+    released element when one is available, fully reinitializing every
+    field (including ``trace``, so a recycled element never leaks stale
+    observability stamps).  ``release`` is called by the *final consumer*
+    of an element — GuestLib for completion/event NQEs it has dispatched,
+    ServiceLib for request NQEs it has handled — never by intermediaries,
+    and never for elements a waiter retains (OP_RESULT responses are
+    handed to the blocked caller; CONNECT requests are captured by the
+    stack's completion callbacks).
+
+    Recycling is observable only through the pool's own counters: a
+    recycled element is field-for-field identical to a fresh one, so the
+    simulated timeline does not depend on pool hits or misses.
+    """
+
+    __slots__ = ("max_free", "_free", "allocated", "reused", "released")
+
+    def __init__(self, max_free: int = 8192):
+        self.max_free = max_free
+        self._free: list = []
+        # Lifetime counters (perf harness / tests).
+        self.allocated = 0
+        self.reused = 0
+        self.released = 0
+
+    def acquire(self, op: NqeOp, vm_id: int, queue_set_id: int,
+                socket_id: int, op_data: int = 0, data_ptr: int = 0,
+                size: int = 0, token: Optional[int] = None,
+                aux: Any = None, created_at: float = 0.0) -> Nqe:
+        """A fully initialized NQE, recycled when the free list allows."""
+        if self._free:
+            self.reused += 1
+            return self._free.pop()._reinit(
+                op, vm_id, queue_set_id, socket_id, op_data=op_data,
+                data_ptr=data_ptr, size=size, token=token, aux=aux,
+                created_at=created_at)
+        self.allocated += 1
+        return Nqe(op, vm_id, queue_set_id, socket_id, op_data=op_data,
+                   data_ptr=data_ptr, size=size, token=token, aux=aux,
+                   created_at=created_at)
+
+    def release(self, nqe: Nqe) -> None:
+        """Return a fully consumed element to the free list."""
+        if len(self._free) >= self.max_free:
+            return
+        nqe.aux = None
+        nqe.trace = None
+        self._free.append(nqe)
+        self.released += 1
+
+    def stats(self) -> dict:
+        return {"allocated": self.allocated, "reused": self.reused,
+                "released": self.released, "free": len(self._free)}
+
+
+#: Process-wide pool shared by GuestLib/ServiceLib (single-threaded sim).
+NQE_POOL = NqePool()
 
 
 #: Result codes carried in op_data of OP_RESULT NQEs.

@@ -25,7 +25,7 @@ from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
 from repro.core.nk_device import NKDevice
-from repro.core.nqe import Nqe, NqeOp, RESULT_ERRNO
+from repro.core.nqe import NQE_POOL, Nqe, NqeOp, RESULT_ERRNO
 from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.errors import SocketError
 
@@ -152,6 +152,11 @@ class ServiceLib:
                 if self.obs is not None:
                     self.obs.on_nsm_consume(nqe)
                 yield from self._handle(nqe, qset_index, core)
+                # ServiceLib is the final consumer of request NQEs; a
+                # CONNECT stays live inside the stack's completion
+                # callbacks until the connection resolves.
+                if nqe.op is not NqeOp.CONNECT:
+                    NQE_POOL.release(nqe)
 
     def _handle(self, nqe: Nqe, qset: int, core):
         handler = {
@@ -365,9 +370,9 @@ class ServiceLib:
             ctx.pending_tx.popleft()
         if accepted_total and ctx.vm_tuple is not None:
             vm_id, vm_qset, vm_sock = ctx.vm_tuple
-            credit = Nqe(NqeOp.SEND_RESULT, vm_id, vm_qset, vm_sock,
-                         op_data=0, size=accepted_total,
-                         created_at=self.sim.now)
+            credit = NQE_POOL.acquire(
+                NqeOp.SEND_RESULT, vm_id, vm_qset, vm_sock,
+                op_data=0, size=accepted_total, created_at=self.sim.now)
             self._emit(ctx.qset, credit, event=False)
         if ctx.closing and not ctx.pending_tx:
             self._finish_close(ctx)
@@ -387,13 +392,14 @@ class ServiceLib:
         vm_id, vm_qset, vm_sock = ctx.vm_tuple
         try:
             self.stack.udp_sendto(ctx.stack_sock, data, dest)
-            credit = Nqe(NqeOp.SEND_RESULT, vm_id, vm_qset, vm_sock,
-                         op_data=0, size=len(data), created_at=self.sim.now)
+            credit = NQE_POOL.acquire(
+                NqeOp.SEND_RESULT, vm_id, vm_qset, vm_sock,
+                op_data=0, size=len(data), created_at=self.sim.now)
         except SocketError as error:
             code = RESULT_ERRNO.get(error.errno_name, 5)
-            credit = Nqe(NqeOp.SEND_RESULT, vm_id, vm_qset, vm_sock,
-                         op_data=-code, size=len(data),
-                         created_at=self.sim.now)
+            credit = NQE_POOL.acquire(
+                NqeOp.SEND_RESULT, vm_id, vm_qset, vm_sock,
+                op_data=-code, size=len(data), created_at=self.sim.now)
         self._emit(ctx.qset, credit, event=False)
 
     def _pump_udp_rx(self, ctx: _SocketContext) -> None:
@@ -413,9 +419,10 @@ class ServiceLib:
             buffer.write(data)
             core.charge(self.cost.nsm_copy_cycles(len(data)),
                         "servicelib.recv_copy")
-            event = Nqe(NqeOp.DATA_ARRIVED, vm_id, vm_qset, vm_sock,
-                        data_ptr=buffer.buffer_id, size=len(data),
-                        aux={"from": source}, created_at=self.sim.now)
+            event = NQE_POOL.acquire(
+                NqeOp.DATA_ARRIVED, vm_id, vm_qset, vm_sock,
+                data_ptr=buffer.buffer_id, size=len(data),
+                aux={"from": source}, created_at=self.sim.now)
             self._emit(ctx.qset, event, event=True)
 
     def _op_recv_credit(self, nqe: Nqe, qset: int, core):
@@ -449,14 +456,15 @@ class ServiceLib:
             core.charge(self.cost.nsm_copy_cycles(len(data)),
                         "servicelib.recv_copy")
             ctx.rx_window_used += len(data)
-            event = Nqe(NqeOp.DATA_ARRIVED, vm_id, vm_qset, vm_sock,
-                        data_ptr=buffer.buffer_id, size=len(data),
-                        created_at=self.sim.now)
+            event = NQE_POOL.acquire(
+                NqeOp.DATA_ARRIVED, vm_id, vm_qset, vm_sock,
+                data_ptr=buffer.buffer_id, size=len(data),
+                created_at=self.sim.now)
             self._emit(ctx.qset, event, event=True)
         if getattr(sock, "eof", False) and not ctx.peer_closed_sent:
             ctx.peer_closed_sent = True
-            event = Nqe(NqeOp.PEER_CLOSED, vm_id, vm_qset, vm_sock,
-                        created_at=self.sim.now)
+            event = NQE_POOL.acquire(NqeOp.PEER_CLOSED, vm_id, vm_qset,
+                                     vm_sock, created_at=self.sim.now)
             self._emit(ctx.qset, event, event=True)
 
     def _emit_error(self, ctx: _SocketContext, errno_name: str) -> None:
@@ -464,8 +472,8 @@ class ServiceLib:
             return
         vm_id, vm_qset, vm_sock = ctx.vm_tuple
         code = RESULT_ERRNO.get(errno_name, 5)
-        event = Nqe(NqeOp.ERROR_EVENT, vm_id, vm_qset, vm_sock,
-                    op_data=-code, created_at=self.sim.now)
+        event = NQE_POOL.acquire(NqeOp.ERROR_EVENT, vm_id, vm_qset, vm_sock,
+                                 op_data=-code, created_at=self.sim.now)
         self._emit(ctx.qset, event, event=True)
 
     # -- stack callbacks -------------------------------------------------------------------
@@ -491,10 +499,11 @@ class ServiceLib:
             ctx.listener_ctx = listener_ctx
             self._by_nsm_id[ctx.nsm_sock_id] = ctx
             self._install_callbacks(ctx)
-            event = Nqe(NqeOp.ACCEPT_EVENT, vm_id, vm_qset, vm_sock,
-                        op_data=ctx.nsm_sock_id,
-                        aux={"peer": getattr(child, "remote", None)},
-                        created_at=self.sim.now)
+            event = NQE_POOL.acquire(
+                NqeOp.ACCEPT_EVENT, vm_id, vm_qset, vm_sock,
+                op_data=ctx.nsm_sock_id,
+                aux={"peer": getattr(child, "remote", None)},
+                created_at=self.sim.now)
             self._emit(listener_ctx.qset, event, event=True)
 
     # -- introspection -----------------------------------------------------------------------

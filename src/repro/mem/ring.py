@@ -101,12 +101,30 @@ class SpscRing:
             raise RingFullError(f"{self.name} is full ({self.capacity})")
 
     def push_batch(self, items, owner: Optional[object] = None) -> int:
-        """Push as many of ``items`` as fit; returns how many were pushed."""
+        """Push as many of ``items`` as fit; returns how many were pushed.
+
+        One ownership check covers the whole batch — the producer cannot
+        change mid-call under the SPSC discipline.
+        """
+        self._check_producer(owner)
         pushed = 0
+        count = self._count
+        capacity = self.capacity
+        tail = self._tail
+        slots = self._slots
         for item in items:
-            if not self.try_push(item, owner):
+            if count == capacity:
+                self.full_rejections += 1
                 break
+            slots[tail] = item
+            tail = (tail + 1) % capacity
+            count += 1
             pushed += 1
+        self._tail = tail
+        self._count = count
+        self.produced += pushed
+        if count > self.peak_depth:
+            self.peak_depth = count
         return pushed
 
     # -- consume -----------------------------------------------------------------
@@ -131,13 +149,29 @@ class SpscRing:
         return self.try_pop(owner)
 
     def pop_batch(self, max_items: int, owner: Optional[object] = None) -> List[Any]:
-        """Pop up to ``max_items`` items (the paper's batched consumption)."""
+        """Pop up to ``max_items`` items (the paper's batched consumption).
+
+        One ownership check covers the whole batch — the consumer cannot
+        change mid-call under the SPSC discipline.
+        """
         self._check_consumer(owner)
         if max_items < 0:
             raise ResourceError(f"negative batch: {max_items}")
+        count = self._count
+        if count == 0 or max_items == 0:
+            return []
+        take = max_items if max_items < count else count
         batch: List[Any] = []
-        while len(batch) < max_items and not self.empty:
-            batch.append(self.try_pop(owner))
+        head = self._head
+        slots = self._slots
+        capacity = self.capacity
+        for _ in range(take):
+            batch.append(slots[head])
+            slots[head] = None
+            head = (head + 1) % capacity
+        self._head = head
+        self._count = count - take
+        self.consumed += take
         return batch
 
     def peek(self, owner: Optional[object] = None) -> Any:

@@ -1,0 +1,307 @@
+"""Pinned-seed wall-clock microbenchmarks.
+
+Each benchmark is a callable ``fn(quick: bool) -> dict`` returning at
+least ``{"wall_s", "events", "peak_rss"}`` (``peak_rss`` in KiB, from
+``getrusage``).  The fig. 8 multiplexing benches additionally run the
+same workload under both CoreEngine scan modes and report the speedup
+plus whether the two simulated timelines were identical — the harness is
+also the standing proof that the ready-set scheduler changes wall-clock
+only.
+
+Workload sizes are fixed constants (no RNG, no clock inputs), so the
+simulated side of every result is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import resource
+import time
+from typing import Dict, List, Optional
+
+from repro.core.coreengine import CoreEngine
+from repro.core.nqe import NQE_POOL, NqeOp
+from repro.cpu.core import Core
+from repro.cpu.cost_model import DEFAULT_COST_MODEL
+from repro.sim import Simulator
+
+
+def _measure(fn):
+    """(wall seconds, peak RSS KiB, fn result) with a clean GC start."""
+    gc.collect()
+    started = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - started
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return wall, peak, result
+
+
+# -- raw simulator event throughput ------------------------------------------
+
+
+def _events_workload(n_procs: int, events_each: int) -> int:
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(events_each):
+            yield sim.timeout(1e-6)
+
+    for _ in range(n_procs):
+        sim.process(ticker())
+    sim.run()
+    return sim.events_processed
+
+
+def bench_events(quick: bool) -> dict:
+    """Raw event-loop throughput: timer wheels only, no datapath."""
+    n_procs, events_each = (50, 400) if quick else (200, 2500)
+    wall, peak, events = _measure(
+        lambda: _events_workload(n_procs, events_each))
+    return {"wall_s": wall, "events": events, "peak_rss": peak,
+            "events_per_sec": events / wall if wall else 0.0}
+
+
+# -- CoreEngine NQE switching ------------------------------------------------
+
+
+def _mux_workload(scan: str, n_vms: int, active_vms: int,
+                  nqes_per_active: int, burst: int = 1,
+                  period: float = 20e-6) -> dict:
+    """Fig. 8-style multiplexing on raw NK devices.
+
+    ``n_vms`` devices register with one CoreEngine; ``active_vms`` of
+    them produce control NQEs (``burst`` per doorbell, paced ``period``
+    apart, staggered so wake-ups usually find one dirty device).  A raw
+    ring consumer on the NSM device echoes every request as an
+    OP_RESULT; per-VM drainers recycle the responses.  Returns a
+    fingerprint of the simulated timeline — identical across scan modes
+    by the scheduler's bit-identity invariants.
+    """
+    sim = Simulator()
+    core = Core(sim, name="bench.ce", hz=DEFAULT_COST_MODEL.core_hz)
+    # Small rings keep device setup cheap (4096-slot rings would make
+    # allocation, not scheduling, dominate the 1000-VM bench).
+    engine = CoreEngine(sim, core, batch_size=8, ring_slots=256, scan=scan)
+    nsm_id, nsm_dev = engine.register_nsm("nsm0", queue_sets=1)
+    vms = []
+    for i in range(n_vms):
+        vm_id, vm_dev = engine.register_vm(f"vm{i}", queue_sets=1)
+        engine.assign_vm(vm_id, nsm_id)
+        vms.append((vm_id, vm_dev))
+    received = [0]
+
+    def responder():
+        owner = object()
+        qs = nsm_dev.queue_sets[0]
+        job_ring, send_ring = nsm_dev.consume_rings(qs)
+        completion_ring, _ = nsm_dev.produce_rings(qs)
+        while True:
+            batch = job_ring.pop_batch(64, owner=owner)
+            batch.extend(send_ring.pop_batch(64, owner=owner))
+            if not batch:
+                yield nsm_dev.wait_for_inbound()
+                continue
+            for nqe in batch:
+                received[0] += 1
+                completion_ring.push(nqe.response(NqeOp.OP_RESULT),
+                                     owner=owner)
+                NQE_POOL.release(nqe)
+            nsm_dev.ring_doorbell()
+
+    def drainer(vm_dev):
+        owner = object()
+        qs = vm_dev.queue_sets[0]
+        completion_ring, _ = vm_dev.consume_rings(qs)
+        while True:
+            batch = completion_ring.pop_batch(64, owner=owner)
+            if not batch:
+                yield vm_dev.wait_for_inbound()
+                continue
+            for nqe in batch:
+                NQE_POOL.release(nqe)
+
+    def producer(vm_id, vm_dev, index):
+        owner = object()
+        qs = vm_dev.queue_sets[0]
+        control_ring, _ = vm_dev.produce_rings(qs)
+        yield sim.timeout(1e-6 * (index + 1))  # stagger the phases
+        for _ in range(nqes_per_active):
+            for _ in range(burst):
+                control_ring.push(
+                    NQE_POOL.acquire(NqeOp.SETSOCKOPT, vm_id, 0, 1,
+                                     created_at=sim.now),
+                    owner=owner)
+            vm_dev.ring_doorbell()
+            yield sim.timeout(period)
+
+    sim.process(responder())
+    for _vm_id, vm_dev in vms:
+        sim.process(drainer(vm_dev))
+    for index, (vm_id, vm_dev) in enumerate(vms[:active_vms]):
+        sim.process(producer(vm_id, vm_dev, index))
+    sim.run()
+    return {
+        "sim_now": sim.now,
+        "events_processed": sim.events_processed,
+        "events_cancelled": sim.events_cancelled,
+        "nqes_switched": engine.nqes_switched,
+        "batches": engine.batches,
+        "received": received[0],
+        "ce_busy_cycles": core.busy_cycles,
+    }
+
+
+def bench_nqe_switch(quick: bool) -> dict:
+    """CoreEngine switch throughput: bursts of 8 through one hot VM."""
+    nqes = 2_000 if quick else 20_000
+    wall, peak, fp = _measure(
+        lambda: _mux_workload("ready", n_vms=1, active_vms=1,
+                              nqes_per_active=nqes, burst=8,
+                              period=5e-6))
+    return {"wall_s": wall, "events": fp["events_processed"],
+            "peak_rss": peak, "nqes_switched": fp["nqes_switched"],
+            "nqe_switches_per_sec":
+                fp["nqes_switched"] / wall if wall else 0.0}
+
+
+def _bench_fig08(n_vms: int, nqes_quick: int, nqes_full: int):
+    def bench(quick: bool) -> dict:
+        active = max(1, n_vms // 10)  # 10% duty cycle
+        nqes = nqes_quick if quick else nqes_full
+        wall_ready, peak, fp_ready = _measure(
+            lambda: _mux_workload("ready", n_vms, active, nqes))
+        wall_full, peak_full, fp_full = _measure(
+            lambda: _mux_workload("full", n_vms, active, nqes))
+        return {
+            "wall_s": wall_ready,
+            "events": fp_ready["events_processed"],
+            "peak_rss": max(peak, peak_full),
+            "wall_full_s": wall_full,
+            "speedup_vs_full": wall_full / wall_ready if wall_ready else 0.0,
+            "fingerprint_match": fp_ready == fp_full,
+            "fingerprint": fp_ready,
+        }
+
+    return bench
+
+
+# -- end-to-end short-request RPS (fig. 20's workload shape) -----------------
+
+
+def _rps_workload(requests: int) -> dict:
+    from repro import NetKernelHost, Network
+    from repro.units import gbps, usec
+
+    sim = Simulator()
+    network = Network(sim, default_rate_bps=gbps(100),
+                      default_delay_sec=usec(25))
+    host = NetKernelHost(sim, network)
+    nsm = host.add_nsm("nsm0", vcpus=1, stack="kernel")
+    vm_server = host.add_vm("vm-server", vcpus=1, nsm=nsm)
+    vm_client = host.add_vm("vm-client", vcpus=1, nsm=nsm)
+    api_server = host.socket_api(vm_server)
+    api_client = host.socket_api(vm_client)
+    done = {}
+
+    def server():
+        listener = yield from api_server.socket()
+        yield from api_server.bind(listener, 80)
+        yield from api_server.listen(listener, backlog=64)
+        conn = yield from api_server.accept(listener)
+        while True:
+            data = yield from api_server.recv(conn, 4096)
+            if not data:
+                break
+            yield from api_server.send(conn, b"R" * 64)
+        yield from api_server.close(conn)
+
+    def client():
+        yield sim.timeout(0.001)  # let the server bind first
+        sock = yield from api_client.socket()
+        yield from api_client.connect(sock, ("nsm0", 80))
+        for _ in range(requests):
+            yield from api_client.send(sock, b"Q" * 64)
+            yield from api_client.recv(sock, 4096)
+        yield from api_client.close(sock)
+        done["sim_now"] = sim.now
+
+    vm_server.spawn(server())
+    vm_client.spawn(client())
+    sim.run(until=60.0)
+    return {
+        "events_processed": sim.events_processed,
+        "completed": "sim_now" in done,
+        "sim_rps": requests / done["sim_now"] if done.get("sim_now") else 0.0,
+    }
+
+
+def bench_fig20_rps(quick: bool) -> dict:
+    """Full GuestLib→CE→ServiceLib→stack round trips, 64 B echoes."""
+    requests = 300 if quick else 3_000
+    wall, peak, out = _measure(lambda: _rps_workload(requests))
+    return {"wall_s": wall, "events": out["events_processed"],
+            "peak_rss": peak, "completed": out["completed"],
+            "sim_rps": out["sim_rps"],
+            "requests_per_wall_sec": requests / wall if wall else 0.0}
+
+
+#: name -> fn(quick) -> result dict.
+BENCHMARKS = {
+    "events": bench_events,
+    "nqe_switch": bench_nqe_switch,
+    "fig08_mux_10": _bench_fig08(10, nqes_quick=100, nqes_full=2_000),
+    "fig08_mux_100": _bench_fig08(100, nqes_quick=60, nqes_full=1_000),
+    "fig08_mux_1000": _bench_fig08(1_000, nqes_quick=10, nqes_full=100),
+    "fig20_rps": bench_fig20_rps,
+}
+
+
+def run_benchmarks(names: Optional[List[str]] = None,
+                   quick: bool = False) -> Dict[str, dict]:
+    """Run the named benchmarks (all by default), in registry order."""
+    if not names:
+        names = list(BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise KeyError(f"unknown benchmarks: {unknown}; "
+                       f"choose from {list(BENCHMARKS)}")
+    results = {}
+    for name in names:
+        result = BENCHMARKS[name](quick)
+        result["name"] = name
+        result["quick"] = quick
+        results[name] = result
+    return results
+
+
+def write_results(results: Dict[str, dict], out_dir: str) -> List[str]:
+    """Write one ``BENCH_<name>.json`` per result; returns the paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for name, result in results.items():
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        with open(path, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        paths.append(path)
+    return paths
+
+
+def check_floors(results: Dict[str, dict], floors: Dict[str, float],
+                 tolerance: float = 2.0) -> List[str]:
+    """Regression check: a benchmark fails when its wall time exceeds
+    ``tolerance ×`` the checked-in floor (a generous baseline, so CI
+    machine jitter does not trip it).  Returns failure messages."""
+    failures = []
+    for name, floor in floors.items():
+        result = results.get(name)
+        if result is None:
+            continue
+        limit = floor * tolerance
+        if result["wall_s"] > limit:
+            failures.append(
+                f"{name}: wall {result['wall_s']:.2f}s exceeds "
+                f"{tolerance:g}x floor ({floor:g}s -> limit {limit:g}s)")
+    return failures

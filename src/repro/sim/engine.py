@@ -19,6 +19,9 @@ class Simulator:
         self._now = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
+        # Lifetime counters (the perf harness reads these).
+        self.events_processed = 0
+        self.events_cancelled = 0
 
     @property
     def now(self) -> float:
@@ -74,11 +77,21 @@ class Simulator:
     # -- run loop ------------------------------------------------------------
 
     def step(self) -> None:
-        """Process the single next event."""
+        """Process the single next event.
+
+        Cancelled timeouts (lazy heap deletion, see Timeout.cancel) are
+        popped and discarded without running callbacks; the clock still
+        advances to their due time, exactly as if they had fired as
+        no-ops, so cancellation never perturbs the simulated timeline.
+        """
         if not self._heap:
             raise SimulationError("step() with no scheduled events")
         when, _seq, event = heapq.heappop(self._heap)
         self._now = when
+        if event._cancelled:
+            self.events_cancelled += 1
+            return
+        self.events_processed += 1
         event._process()
 
     def peek(self) -> Optional[float]:

@@ -24,7 +24,17 @@ class Event:
 
     Callbacks are callables taking the event itself; they run when the
     simulator processes the event after it has been triggered.
+
+    Events are the simulator's highest-volume allocation, so the whole
+    hierarchy uses ``__slots__``; attach per-use payloads via the event
+    value, not ad-hoc attributes.
     """
+
+    __slots__ = ("sim", "callbacks", "_state", "_value", "_exception")
+
+    #: Class-level default; only :class:`Timeout` instances ever set the
+    #: per-instance slot (lazy heap deletion, see Simulator.step()).
+    _cancelled = False
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -114,6 +124,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers automatically ``delay`` seconds from now."""
 
+    __slots__ = ("delay", "_cancelled")
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
@@ -121,15 +133,36 @@ class Timeout(Event):
         self.delay = delay
         self._state = TRIGGERED
         self._value = value
+        self._cancelled = False
         sim._queue_event(self, delay=delay)
 
     @property
     def completed(self) -> bool:
         return self.processed
 
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Disarm a pending timeout (lazy heap deletion).
+
+        The heap entry stays queued — removing from the middle of a heap
+        is O(n) — but the simulator skips it without running callbacks.
+        Callbacks are dropped immediately so composite conditions and
+        their waiters can be collected before the due time.  Cancelling
+        an already-processed timeout is an error: it has fired.
+        """
+        if self.processed:
+            raise SimulationError("cannot cancel a processed timeout")
+        self._cancelled = True
+        self.callbacks = []
+
 
 class _Condition(Event):
     """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_done")
 
     def __init__(self, sim: "Simulator", events: List[Event]):
         super().__init__(sim)
@@ -168,12 +201,16 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Triggers when any constituent event triggers."""
 
+    __slots__ = ()
+
     def _satisfied(self, done: int, total: int) -> bool:
         return done >= 1
 
 
 class AllOf(_Condition):
     """Triggers when all constituent events have triggered."""
+
+    __slots__ = ()
 
     def _satisfied(self, done: int, total: int) -> bool:
         return done >= total

@@ -29,6 +29,8 @@ class Interrupt(Exception):
 class Process(Event):
     """Wraps a generator and drives it through the event loop."""
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, sim: "Simulator", generator: Generator):
         super().__init__(sim)
         if not hasattr(generator, "send"):

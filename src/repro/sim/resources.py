@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional, TYPE_CHECKING
+from typing import Any, Deque, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import ResourceError
 from repro.sim.event import Event
@@ -67,7 +67,9 @@ class Store:
         self.capacity = capacity
         self.items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
-        self._putters: Deque[Event] = deque()
+        # (event, item) pairs: Event has __slots__, so the blocked item
+        # travels alongside the event instead of as a dynamic attribute.
+        self._putters: Deque[Tuple[Event, Any]] = deque()
 
     def __len__(self) -> int:
         return len(self.items)
@@ -88,8 +90,7 @@ class Store:
             self.items.append(item)
             event.succeed()
         else:
-            event._item = item  # type: ignore[attr-defined]
-            self._putters.append(event)
+            self._putters.append((event, item))
         return event
 
     def get(self) -> Event:
@@ -112,6 +113,6 @@ class Store:
 
     def _admit_putter(self) -> None:
         if self._putters and not self.full:
-            putter = self._putters.popleft()
-            self.items.append(putter._item)  # type: ignore[attr-defined]
+            putter, item = self._putters.popleft()
+            self.items.append(item)
             putter.succeed()

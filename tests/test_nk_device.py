@@ -51,9 +51,9 @@ class TestNotification:
     def test_doorbell_callback(self, sim):
         device = make_device(sim)
         rings = []
-        device.doorbell = lambda: rings.append(1)
+        device.doorbell = lambda dev: rings.append(dev)
         device.ring_doorbell()
-        assert rings == [1]
+        assert rings == [device]  # the doorbell identifies the kicker
 
     def test_doorbell_without_handler_is_noop(self, sim):
         make_device(sim).ring_doorbell()  # must not raise
