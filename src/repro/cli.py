@@ -20,6 +20,13 @@ bench
     workload.  ``--out`` writes one ``BENCH_<name>.json`` per result;
     ``--floors`` fails the run when a wall time regresses more than 2x
     against the checked-in floor.
+chaos
+    Run the seeded fault-injection workload (``repro.faults``): echo
+    traffic through an NSM that crashes/stalls/drops per ``--plan``,
+    with heartbeat failure detection and connection failover armed.
+    ``--verify`` runs the plan twice and fails unless the two timelines
+    are bit-identical (switch-fingerprint equality) and leak-free —
+    the same check the chaos-smoke CI job runs.
 """
 
 from __future__ import annotations
@@ -66,6 +73,7 @@ TITLES = {
     "ablation-pipelining": "Ablation: pipelined vs synchronous send()",
     "ablation-queues": "Ablation: lockless per-vCPU queues vs shared",
     "ablation-double-stack": "Ablation: stack-on-hypervisor alternative",
+    "fig-failover": "Recovery time vs failure-detection timeout",
 }
 
 
@@ -76,13 +84,14 @@ def _cmd_list() -> int:
 
 
 def _sort_key(exp_id: str):
-    if exp_id.startswith("fig"):
+    digits = "".join(ch for ch in exp_id if ch.isdigit())
+    if exp_id.startswith("fig") and digits:
         kind = 0
-    elif exp_id.startswith("table"):
+    elif exp_id.startswith("table") and digits:
         kind = 1
     else:
         return (2, 0, exp_id)
-    return (kind, int("".join(ch for ch in exp_id if ch.isdigit())), "")
+    return (kind, int(digits), "")
 
 
 def _cmd_run(ids: List[str], quick: bool) -> int:
@@ -226,6 +235,51 @@ def _cmd_bench(names: List[str], quick: bool, out_dir: str,
     return exit_code
 
 
+def _cmd_chaos(seed: int, plan: str, duration: float,
+               detection_timeout: float, heartbeat_interval: float,
+               as_json: bool, verify: bool) -> int:
+    from repro.faults.chaos import run_chaos
+
+    runs = 2 if verify else 1
+    results = [run_chaos(seed=seed, plan_name=plan, duration=duration,
+                         detection_timeout=detection_timeout,
+                         heartbeat_interval=heartbeat_interval)
+               for _ in range(runs)]
+    result = results[0]
+    if as_json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        counters = result["counters"]
+        recovery = result["recovery_sec"]
+        print(f"plan={plan} seed={seed} duration={duration}s "
+              f"detect={detection_timeout * 1e3:g}ms")
+        print(f"  requests_ok={counters['requests_ok']} "
+              f"connects={counters['connects']} "
+              f"resets={counters['resets']} "
+              f"timeouts={counters['timeouts']}")
+        print(f"  faults={result['faults']}")
+        print(f"  quarantined={result['quarantined']} "
+              f"recovery="
+              f"{'n/a' if recovery is None else f'{recovery * 1e3:.2f}ms'}")
+        print(f"  fingerprint={result['switch_fingerprint'][:16]}…")
+    exit_code = 0
+    for index, run in enumerate(results):
+        for leak in run["leaks"]:
+            print(f"RESOURCE LEAK (run {index + 1}): {leak}",
+                  file=sys.stderr)
+            exit_code = 1
+    if verify:
+        fingerprints = {run["switch_fingerprint"] for run in results}
+        if len(fingerprints) != 1:
+            print("TIMELINE DIVERGENCE: same seed+plan produced "
+                  f"{len(fingerprints)} distinct fingerprints",
+                  file=sys.stderr)
+            exit_code = 1
+        elif exit_code == 0:
+            print("verify OK: 2 runs bit-identical, no leaks")
+    return exit_code
+
+
 def _cmd_calibration() -> int:
     from repro.cpu.cost_model import DEFAULT_COST_MODEL
 
@@ -263,6 +317,30 @@ def main(argv: List[str] = None) -> int:
                               help="directory for BENCH_<name>.json files")
     bench_parser.add_argument("--floors", default="",
                               help="JSON of wall-time floors; fail at >2x")
+    from repro.faults.plan import PLAN_NAMES
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="run a seeded fault-injection workload")
+    chaos_parser.add_argument("--seed", type=int, default=0,
+                              help="fault-plan RNG seed (default 0)")
+    chaos_parser.add_argument("--plan", choices=PLAN_NAMES,
+                              default="nsm-crash",
+                              help="named fault plan (default nsm-crash)")
+    chaos_parser.add_argument("--duration", type=float, default=0.6,
+                              help="simulated seconds (default 0.6)")
+    chaos_parser.add_argument("--detection-timeout", type=float,
+                              default=10e-3,
+                              help="NSM failure-detection timeout in "
+                                   "seconds (default 0.01)")
+    chaos_parser.add_argument("--heartbeat-interval", type=float,
+                              default=2e-3,
+                              help="heartbeat probe period in seconds "
+                                   "(default 0.002)")
+    chaos_parser.add_argument("--json", action="store_true",
+                              help="emit the full result as JSON")
+    chaos_parser.add_argument("--verify", action="store_true",
+                              help="run twice; fail unless bit-identical "
+                                   "and leak-free")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -275,6 +353,10 @@ def main(argv: List[str] = None) -> int:
         return _cmd_stats(args.json, args.bytes)
     if args.command == "bench":
         return _cmd_bench(args.names, args.quick, args.out, args.floors)
+    if args.command == "chaos":
+        return _cmd_chaos(args.seed, args.plan, args.duration,
+                          args.detection_timeout, args.heartbeat_interval,
+                          args.json, args.verify)
     return 1
 
 

@@ -100,6 +100,11 @@ class ConnectionTable:
         """All live entries belonging to one VM (for teardown/migration)."""
         return [e for t, e in self._by_vm.items() if t[0] == vm_id]
 
+    def entries_for_nsm(self, nsm_id: int):
+        """All live entries served by one NSM (for quarantine/failover),
+        including entries whose NSM socket id is still pending."""
+        return [e for e in self._by_vm.values() if e.nsm_id == nsm_id]
+
     def nsm_loads(self) -> Dict[int, int]:
         """Live connection count per NSM id (the load-balancing signal)."""
         loads: Dict[int, int] = {}

@@ -21,17 +21,27 @@ wake-up costs O(ready devices), not O(registered devices).
 ``scan="full"`` preserves the rescan-everything loop; both modes produce
 bit-identical simulated timelines (see _run_ready for the invariants),
 the ready set only removes wall-clock work.
+
+Failure handling (§8): an NSM is a new single point of failure, so the
+switch doubles as the failure detector.  ``enable_health_monitor`` sends
+HEARTBEAT NQEs through each NSM's job ring and expects HEARTBEAT_ACKs
+back through the normal datapath — probing the exact path tenant NQEs
+take, not a side channel.  An NSM silent past the detection timeout is
+quarantined: its rings are reclaimed, in-flight NQEs fail fast as
+ECONNRESET results/events toward their VMs, its connection-table entries
+are removed, and affected VMs are rebound to the least-loaded standby
+NSM (``failover_listeners`` lets the host re-attach hugepage regions).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.conn_table import ConnectionTable
 from repro.core.nk_device import NKDevice, ROLE_NSM, ROLE_VM
-from repro.core.nqe import Nqe, NqeOp
+from repro.core.nqe import NQE_POOL, Nqe, NqeOp, RESULT_ERRNO
 from repro.cpu.core import Core
 from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.errors import ConfigurationError
@@ -100,6 +110,13 @@ DEFAULT_SCAN_MODE = "ready"
 #: _Registration.state values.
 _IDLE, _READY = 0, 1
 
+#: VM→NSM control requests that carry a waiter token; failing one fast
+#: synthesizes an OP_RESULT(ECONNRESET) so the blocked caller unblocks.
+_TOKENED_REQUESTS = frozenset((
+    NqeOp.SOCKET, NqeOp.BIND, NqeOp.LISTEN, NqeOp.CONNECT,
+    NqeOp.SETSOCKOPT, NqeOp.GETSOCKOPT, NqeOp.SHUTDOWN, NqeOp.CLOSE,
+))
+
 
 class _Registration:
     __slots__ = ("numeric_id", "device", "key", "state", "birth_pass",
@@ -144,6 +161,10 @@ class CoreEngine:
         self._nsms: Dict[int, _Registration] = {}
         self._ids = itertools.count(1)
         self.vm_to_nsm: Dict[int, int] = {}
+        # VMs whose serving NSM was deregistered with no standby to take
+        # over: their ops fail fast instead of raising (a VM that never
+        # had an assignment is a configuration error; this is not).
+        self._orphaned_vms: set = set()
 
         # Isolation state.
         self._bw_limits: Dict[int, TokenBucket] = {}
@@ -163,11 +184,42 @@ class CoreEngine:
         self._pass_counter = 0
         self._in_pass = False
 
+        # Delivery backpressure: how long _deliver may stall on a full
+        # destination ring before dropping the NQE.  Generous by default
+        # (live consumers drain rings in microseconds); a budget-length
+        # stall means the consumer is gone or wedged.
+        self.deliver_stall_budget = 10e-3
+
+        # NSM health monitoring / failover state (off until
+        # enable_health_monitor()).
+        self.heartbeat_interval = 1e-3
+        self.detection_timeout = 5e-3
+        self._health_process = None
+        self._health_enabled = False
+        #: nsm_id -> sim time of the last HEARTBEAT_ACK (or of first probe).
+        self._last_ack: Dict[int, float] = {}
+        #: reason strings by quarantined NSM id.
+        self.quarantined: Dict[int, str] = {}
+        #: Called as fn(vm_id, dead_nsm_id, standby_nsm_id) after a VM is
+        #: rebound, so the host can attach hugepage regions to the standby.
+        self.failover_listeners: List[Callable[[int, int, int], None]] = []
+
+        # Fault injection (repro.faults); None means no faults and the
+        # hot path pays only the attribute check.
+        self.faults = None
+
         # Statistics.
         self.nqes_switched = 0
         self.batches = 0
         self.rate_limited_stalls = 0
         self.nqes_dropped = 0
+        self.nqes_dropped_backpressure = 0
+        self.nqes_failed_fast = 0
+        self.heartbeats_sent = 0
+        self.heartbeat_acks = 0
+        self.nsms_quarantined = 0
+        self.vms_failed_over = 0
+        self.conns_reset_on_failover = 0
         #: Stall timeouts disarmed because the doorbell won the any_of
         #: race (each one used to linger in the event heap as a no-op).
         self.stale_wakeups = 0
@@ -219,18 +271,42 @@ class CoreEngine:
         return numeric_id, device
 
     def deregister(self, numeric_id: int) -> None:
-        """Release a VM's or NSM's NK device (shutdown path)."""
+        """Release a VM's or NSM's NK device (shutdown path).
+
+        In-flight NQEs still sitting in the departing device's rings are
+        reclaimed here: payloads freed, elements returned to the pool.
+        For an NSM they fail fast toward the VMs they belong to (the VMs
+        outlive the NSM and must learn their connections died); for a VM
+        they are silently dropped (nobody is left to notify).
+        """
         self.core.charge(self.cost.ce_device_setup, "ce.device_teardown")
         if numeric_id in self._vms:
-            for entry in self.table.entries_for_vm(numeric_id):
-                self.table.remove_vm(entry.vm_tuple)
             reg = self._vms.pop(numeric_id)
-            self.vm_to_nsm.pop(numeric_id, None)
-        else:
-            reg = self._nsms.pop(numeric_id, None)
-        if reg is not None:
             # Ready-heap entries for this device are skipped lazily.
             reg.active = False
+            for entry in self.table.entries_for_vm(numeric_id):
+                self.table.remove_vm(entry.vm_tuple)
+            self.vm_to_nsm.pop(numeric_id, None)
+            self._orphaned_vms.discard(numeric_id)
+            self._reclaim_device(reg, fail_fast=False)
+            return
+        reg = self._nsms.pop(numeric_id, None)
+        if reg is None:
+            return
+        reg.active = False
+        self._reclaim_device(reg, fail_fast=True)
+        for entry in self.table.entries_for_nsm(numeric_id):
+            vm_id, vm_qset, vm_sock = entry.vm_tuple
+            self.table.remove_vm(entry.vm_tuple)
+            error = NQE_POOL.acquire(
+                NqeOp.ERROR_EVENT, vm_id, vm_qset, vm_sock,
+                op_data=-RESULT_ERRNO["ECONNRESET"],
+                aux={"reason": "nsm-deregistered"}, created_at=self.sim.now)
+            self._push_to_vm(error, event=True)
+        for vm_id, assigned in list(self.vm_to_nsm.items()):
+            if assigned == numeric_id:
+                del self.vm_to_nsm[vm_id]
+                self._orphaned_vms.add(vm_id)
 
     def assign_vm(self, vm_id: int, nsm_id: int) -> None:
         """Bind a VM to the NSM that will serve it (user choice or LB)."""
@@ -239,6 +315,7 @@ class CoreEngine:
         if nsm_id not in self._nsms:
             raise ConfigurationError(f"unknown NSM id {nsm_id}")
         self.vm_to_nsm[vm_id] = nsm_id
+        self._orphaned_vms.discard(vm_id)
 
     def assign_vm_auto(self, vm_id: int) -> int:
         """Assign a VM to the least-loaded NSM and return its id.
@@ -256,7 +333,199 @@ class CoreEngine:
                  for nsm_id in self._nsms}
         nsm_id = min(sorted(loads), key=loads.get)
         self.vm_to_nsm[vm_id] = nsm_id
+        self._orphaned_vms.discard(vm_id)
         return nsm_id
+
+    # -- NSM health & failover (§8) ------------------------------------------
+
+    def enable_health_monitor(self, heartbeat_interval: float = 1e-3,
+                              detection_timeout: float = 5e-3) -> None:
+        """Start probing NSM liveness with heartbeat NQEs.
+
+        Every ``heartbeat_interval`` the monitor pushes a HEARTBEAT into
+        each active NSM's job ring; ServiceLib answers through its
+        completion ring.  An NSM whose last ack is older than
+        ``detection_timeout`` is quarantined (see quarantine_nsm).  Off
+        by default so un-monitored timelines are byte-identical to
+        earlier builds.
+        """
+        if detection_timeout <= heartbeat_interval:
+            raise ConfigurationError(
+                f"detection timeout ({detection_timeout}) must exceed the "
+                f"heartbeat interval ({heartbeat_interval})")
+        self.heartbeat_interval = heartbeat_interval
+        self.detection_timeout = detection_timeout
+        self._health_enabled = True
+        if self._health_process is None:
+            self._health_process = self.sim.process(self._health_loop())
+
+    def disable_health_monitor(self) -> None:
+        """Stop probing (the loop exits at its next tick)."""
+        self._health_enabled = False
+
+    def _health_loop(self):
+        while self._running and self._health_enabled:
+            now = self.sim.now
+            for nsm_id in sorted(self._nsms):
+                reg = self._nsms[nsm_id]
+                if not reg.active:
+                    continue
+                last = self._last_ack.setdefault(nsm_id, now)
+                if now - last >= self.detection_timeout:
+                    self.quarantine_nsm(nsm_id, reason="heartbeat-timeout")
+                    continue
+                probe = NQE_POOL.acquire(NqeOp.HEARTBEAT, 0, 0, 0,
+                                         created_at=now)
+                control_ring, _ = reg.device.consume_rings(
+                    reg.device.queue_sets[0])
+                if control_ring.try_push(probe, owner=self):
+                    self.heartbeats_sent += 1
+                    reg.device.wake()
+                else:
+                    # Job ring jammed: the silence itself will trip the
+                    # detection timeout; don't leak the probe.
+                    NQE_POOL.release(probe)
+            yield self.sim.timeout(self.heartbeat_interval)
+        self._health_process = None
+
+    def quarantine_nsm(self, nsm_id: int,
+                       reason: str = "failure-detected") -> List[int]:
+        """Take a dead NSM out of service and fail its work fast (§8).
+
+        Reclaims every NQE in the dead NSM's rings (requests fail fast as
+        ECONNRESET results toward their VMs, stale events are dropped
+        with payloads freed), resets each of its connection-table entries
+        with an ERROR_EVENT(ECONNRESET) to the owning socket, and rebinds
+        affected VMs to the least-loaded active standby NSM.  Returns the
+        rebound VM ids (empty when no standby exists — the VMs keep their
+        dead assignment and subsequent ops fail fast).
+        """
+        reg = self._nsms.get(nsm_id)
+        if reg is None or not reg.active:
+            return []
+        reg.active = False
+        self.quarantined[nsm_id] = reason
+        self.nsms_quarantined += 1
+        self.core.charge(self.cost.ce_device_setup, "ce.quarantine")
+        self._reclaim_device(reg, fail_fast=True)
+        now = self.sim.now
+        for entry in self.table.entries_for_nsm(nsm_id):
+            vm_id, vm_qset, vm_sock = entry.vm_tuple
+            self.table.remove_vm(entry.vm_tuple)
+            self.conns_reset_on_failover += 1
+            error = NQE_POOL.acquire(
+                NqeOp.ERROR_EVENT, vm_id, vm_qset, vm_sock,
+                op_data=-RESULT_ERRNO["ECONNRESET"],
+                aux={"reason": reason}, created_at=now)
+            self._push_to_vm(error, event=True)
+        standby = self._pick_standby(exclude=nsm_id)
+        moved: List[int] = []
+        if standby is not None:
+            for vm_id, assigned in sorted(self.vm_to_nsm.items()):
+                if assigned == nsm_id:
+                    self.vm_to_nsm[vm_id] = standby
+                    moved.append(vm_id)
+            self.vms_failed_over += len(moved)
+        if self.obs is not None:
+            self.obs.on_nsm_quarantined(nsm_id, reason, len(moved))
+        for vm_id in moved:
+            for listener in self.failover_listeners:
+                listener(vm_id, nsm_id, standby)
+        return moved
+
+    def _pick_standby(self, exclude: int) -> Optional[int]:
+        """The least-loaded active NSM other than ``exclude`` (the same
+        live-connection-count signal assign_vm_auto balances on)."""
+        candidates = [nid for nid, reg in self._nsms.items()
+                      if reg.active and nid != exclude]
+        if not candidates:
+            return None
+        loads = self.table.nsm_loads()
+        return min(sorted(candidates), key=lambda nid: loads.get(nid, 0))
+
+    def _reclaim_device(self, reg: _Registration, fail_fast: bool) -> None:
+        """Drain every ring of a departed device.  SPSC claims are
+        bypassed (owner=None): the owner is gone, CoreEngine is the only
+        party left standing."""
+        for qs in reg.device.queue_sets:
+            for ring_name in ("job", "send", "completion", "receive"):
+                ring = getattr(qs, ring_name)
+                while True:
+                    batch = ring.pop_batch(64, owner=None)
+                    if not batch:
+                        break
+                    for nqe in batch:
+                        if fail_fast:
+                            self._fail_fast_nqe(nqe)
+                        else:
+                            self._drop_nqe(nqe)
+
+    def _fail_fast_nqe(self, nqe: Nqe) -> None:
+        """Resolve an in-flight NQE whose NSM died as ECONNRESET.
+
+        Tokened requests become OP_RESULT(-ECONNRESET) so blocked callers
+        unblock; SEND/SENDTO free their payload and become
+        SEND_RESULT(-ECONNRESET) carrying the original size so GuestLib's
+        send-buffer accounting drains; results produced before the crash
+        are rewritten to -ECONNRESET (their success is unobservable now);
+        everything else is dropped with payloads freed.
+        """
+        reset = -RESULT_ERRNO["ECONNRESET"]
+        op = nqe.op
+        if op in (NqeOp.SEND, NqeOp.SENDTO):
+            self._free_payload(nqe)
+            result = NQE_POOL.acquire(
+                NqeOp.SEND_RESULT, nqe.vm_id, nqe.queue_set_id,
+                nqe.socket_id, op_data=reset, size=nqe.size,
+                created_at=self.sim.now)
+            NQE_POOL.release(nqe)
+            self.nqes_failed_fast += 1
+            self._push_to_vm(result, event=False)
+        elif op in _TOKENED_REQUESTS:
+            result = NQE_POOL.acquire(
+                NqeOp.OP_RESULT, nqe.vm_id, nqe.queue_set_id,
+                nqe.socket_id, op_data=reset, token=nqe.token,
+                aux={"req_op": op}, created_at=self.sim.now)
+            NQE_POOL.release(nqe)
+            self.nqes_failed_fast += 1
+            self._push_to_vm(result, event=False)
+        elif op in (NqeOp.OP_RESULT, NqeOp.SEND_RESULT):
+            nqe.op_data = reset
+            self.nqes_failed_fast += 1
+            self._push_to_vm(nqe, event=False)
+        else:
+            # Stale events / credits / heartbeats: nothing to resolve.
+            self._drop_nqe(nqe)
+
+    def _push_to_vm(self, nqe: Nqe, event: bool) -> None:
+        """Best-effort synchronous delivery into a VM's consume rings
+        (failover paths only — the normal datapath goes through _deliver).
+        A full ring here drops the element rather than blocking the
+        caller; the VM's pollers are live, so this is a last resort."""
+        vm_reg = self._vms.get(nqe.vm_id)
+        if vm_reg is None or not vm_reg.active:
+            self._drop_nqe(nqe)
+            return
+        device = vm_reg.device
+        qs = device.queue_sets[nqe.queue_set_id % len(device.queue_sets)]
+        control_ring, data_ring = device.consume_rings(qs)
+        ring = data_ring if event else control_ring
+        if ring.try_push(nqe, owner=self):
+            device.wake()
+        else:
+            self.nqes_dropped_backpressure += 1
+            self._drop_nqe(nqe)
+
+    def _free_payload(self, nqe: Nqe) -> None:
+        """Free the hugepage buffer an NQE references, if any."""
+        if not nqe.data_ptr:
+            return
+        region = self._vm_regions.get(nqe.vm_id)
+        if region is None:
+            return
+        buffer = region.lookup(nqe.data_ptr)
+        if buffer is not None and not buffer.freed:
+            buffer.free()
 
     def set_bandwidth_limit(self, vm_id: int, bits_per_sec: float,
                             burst_bits: Optional[float] = None) -> None:
@@ -290,6 +559,9 @@ class CoreEngine:
         mark exactly it dirty; ``None`` (manual kicks, ``stop()``)
         conservatively marks every registered device.
         """
+        if (device is not None and self.faults is not None
+                and self.faults.should_drop_doorbell(device)):
+            return  # injected doorbell loss: the MMIO write vanished
         if self.scan == "ready":
             if device is not None:
                 reg = device.ce_registration
@@ -505,21 +777,45 @@ class CoreEngine:
         if entry is None:
             nsm_id = self.vm_to_nsm.get(reg.numeric_id)
             if nsm_id is None:
+                if reg.numeric_id in self._orphaned_vms:
+                    # The serving NSM was deregistered and no standby
+                    # exists.  Raising here would kill the switch for
+                    # every tenant; fail the op fast instead.
+                    self._fail_fast_nqe(nqe)
+                    return
                 raise ConfigurationError(
                     f"VM {reg.numeric_id} has no NSM assigned")
-            nsm_device = self._nsms[nsm_id].device
+            nsm_reg = self._nsms.get(nsm_id)
+            if nsm_reg is None or not nsm_reg.active:
+                # Assigned NSM is dead and no standby took over: fail
+                # fast rather than queueing toward a corpse.
+                self._fail_fast_nqe(nqe)
+                return
+            nsm_device = nsm_reg.device
             qset = hash(vm_tuple) % len(nsm_device.queue_sets)
             entry = self.table.insert(vm_tuple, nsm_id, qset)
             if nqe.op == NqeOp.ACCEPT_ATTACH:
                 # The NSM socket already exists; complete the entry now.
                 self.table.complete(vm_tuple, nqe.op_data)
-        nsm_device = self._nsms[entry.nsm_id].device
+        nsm_reg = self._nsms.get(entry.nsm_id)
+        if nsm_reg is None or not nsm_reg.active:
+            # The serving NSM died between insert and this switch.
+            self.table.remove_vm(vm_tuple)
+            self._fail_fast_nqe(nqe)
+            return
+        nsm_device = nsm_reg.device
         qs = nsm_device.queue_sets[entry.nsm_queue_set]
         control_ring, data_ring = nsm_device.consume_rings(qs)
         ring = data_ring if nqe.op == NqeOp.SEND else control_ring
         yield from self._deliver(ring, nqe, nsm_device)
 
     def _route_nsm_to_vm(self, reg: _Registration, nqe: Nqe):
+        if nqe.op is NqeOp.HEARTBEAT_ACK:
+            # Liveness answer for the health monitor; never reaches a VM.
+            self.heartbeat_acks += 1
+            self._last_ack[reg.numeric_id] = self.sim.now
+            NQE_POOL.release(nqe)
+            return
         vm_tuple = nqe.vm_tuple
         vm_reg = self._vms.get(nqe.vm_id)
         if vm_reg is None:
@@ -543,21 +839,52 @@ class CoreEngine:
         yield from self._deliver(ring, nqe, vm_device)
 
     def _deliver(self, ring, nqe: Nqe, target_device: NKDevice):
-        """Copy the NQE into the destination ring, stalling on backpressure."""
+        """Copy the NQE into the destination ring.
+
+        Backpressure stalls are *bounded*: a live consumer drains its
+        ring within microseconds, so a stall that outlives
+        ``deliver_stall_budget`` means the consumer is gone or wedged —
+        the NQE is dropped (payload freed, element pooled) and counted
+        in ``nqes_dropped_backpressure`` instead of wedging the switch
+        forever.
+        """
+        faults = self.faults
+        if faults is not None:
+            if faults.should_drop_slot(nqe, target_device):
+                self._drop_nqe(nqe)  # injected ring-slot write loss
+                return
+            delay = faults.completion_delay(target_device)
+            if delay > 0:
+                yield self.sim.timeout(delay)
+        # The target may have died (quarantine/deregister) between switch
+        # and delivery; pushing into a reclaimed ring would strand the
+        # element forever, so drop it instead.
+        target_reg = target_device.ce_registration
+        if target_reg is not None and not target_reg.active:
+            self._drop_nqe(nqe)
+            return
+        deadline: Optional[float] = None
         while not ring.try_push(nqe, owner=self):
+            if target_reg is not None and not target_reg.active:
+                self._drop_nqe(nqe)  # consumer died while we stalled
+                return
+            if deadline is None:
+                deadline = self.sim.now + self.deliver_stall_budget
+            elif self.sim.now >= deadline:
+                self.nqes_dropped_backpressure += 1
+                self._drop_nqe(nqe)
+                return
             yield self.sim.timeout(2e-6)
         target_device.wake()
 
     def _drop_nqe(self, nqe: Nqe) -> None:
-        """Drop an NQE addressed to a vanished VM, freeing any hugepage
-        payload it references so the shutdown path cannot leak buffers."""
+        """Drop an NQE terminally: free any hugepage payload it
+        references and return the element to the pool (the drop path is
+        its final consumer — losing pooled elements here would bleed the
+        pool dry under sustained faults)."""
         self.nqes_dropped += 1
-        if nqe.data_ptr:
-            region = self._vm_regions.get(nqe.vm_id)
-            if region is not None:
-                buffer = region.lookup(nqe.data_ptr)
-                if buffer is not None and not buffer.freed:
-                    buffer.free()
+        self._free_payload(nqe)
+        NQE_POOL.release(nqe)
 
     # -- introspection -----------------------------------------------------------
 
@@ -571,6 +898,13 @@ class CoreEngine:
             "connections": len(self.table),
             "rate_limited_stalls": self.rate_limited_stalls,
             "nqes_dropped": self.nqes_dropped,
+            "nqes_dropped_backpressure": self.nqes_dropped_backpressure,
+            "nqes_failed_fast": self.nqes_failed_fast,
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeat_acks": self.heartbeat_acks,
+            "nsms_quarantined": self.nsms_quarantined,
+            "vms_failed_over": self.vms_failed_over,
+            "conns_reset_on_failover": self.conns_reset_on_failover,
             "sched.mode": self.scan,
             "sched.passes": self._pass_counter,
             "sched.stale_wakeups": self.stale_wakeups,

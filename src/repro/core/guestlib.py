@@ -15,12 +15,19 @@ Every socket is pinned to a home queue set (the lane of the vCPU that
 created it, accepted sockets round-robin), so its ⟨VM id, queue set,
 socket id⟩ tuple — the connection-table key — stays stable for its
 lifetime.
+
+Failure handling (§8): when ``op_timeout`` is set, every blocking control
+op carries a deadline.  Idempotent ops (setsockopt/getsockopt/close) are
+retried with exponential backoff up to ``max_op_retries`` times; anything
+else surfaces :class:`~repro.errors.TimedOutError` to the caller.  A late
+response for a deadlined op finds no waiter and is simply released by the
+poller, so a dead NSM can never wedge a guest thread or leak an NQE.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections import deque
+from collections import deque, namedtuple
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.nk_device import NKDevice
@@ -32,6 +39,8 @@ from repro.errors import (
     InvalidSocketStateError,
     NotConnectedError,
     SocketError,
+    TimedOutError,
+    socket_error_for,
 )
 
 #: Per-socket send-buffer budget (bytes of hugepage space in flight).
@@ -42,6 +51,15 @@ RECV_CREDIT_QUANTUM = 64 * 1024
 #: epoll event masks.
 EPOLLIN = 0x1
 EPOLLOUT = 0x4
+
+#: Control ops safe to re-issue after a deadline expiry: the NSM applies
+#: them idempotently (set/get of a recorded option; close of an
+#: already-gone context answers OK).
+IDEMPOTENT_OPS = frozenset((NqeOp.SETSOCKOPT, NqeOp.GETSOCKOPT, NqeOp.CLOSE))
+
+#: What _call hands back to blocking callers: the response NQE's result
+#: fields, decoupled from the pooled element (which _call releases).
+OpResult = namedtuple("OpResult", ("op_data", "aux"))
 
 
 class NetKernelSocket:
@@ -177,13 +195,20 @@ class GuestLib:
 
     def __init__(self, sim, vm_id: int, device: NKDevice,
                  cores: List[Core],
-                 cost_model: CostModel = DEFAULT_COST_MODEL):
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 op_timeout: Optional[float] = None,
+                 max_op_retries: int = 3):
         self.sim = sim
         self.vm_id = vm_id
         self.device = device
         self.cores = cores
         self.cost = cost_model
         self.hugepages = device.hugepages
+        #: Per-attempt deadline for blocking control ops (None = wait
+        #: forever, the pre-§8 behaviour).
+        self.op_timeout = op_timeout
+        #: Extra attempts (with doubling deadlines) for IDEMPOTENT_OPS.
+        self.max_op_retries = max_op_retries
 
         self.fd_table: Dict[int, NetKernelSocket] = {}
         self.epolls: Dict[int, EpollInstance] = {}
@@ -201,6 +226,8 @@ class GuestLib:
         # Statistics.
         self.nqes_sent = 0
         self.nqes_received = 0
+        self.op_timeouts = 0
+        self.op_retries = 0
 
         # Observability (repro.obs); None = tracing disabled (default).
         self.obs = None
@@ -247,28 +274,90 @@ class GuestLib:
 
     def _call(self, vcpu: int, sock: NetKernelSocket, op: NqeOp,
               op_data: int = 0, aux=None, data_ptr: int = 0, size: int = 0):
-        """Send a control NQE and block until its response NQE arrives."""
+        """Send a control NQE and block until its response NQE arrives.
+
+        Returns an :class:`OpResult`; _call is the final consumer of the
+        response NQE.  With ``op_timeout`` set, each attempt carries a
+        deadline (doubling per retry); only IDEMPOTENT_OPS are re-issued,
+        and a deadline expiry raises :class:`TimedOutError`.  A response
+        that arrives after its deadline finds no waiter registered and is
+        released by the poller — never leaked, never misdelivered (the
+        retry uses a fresh token)."""
         core = self._core_for(vcpu)
         yield core.execute(self.cost.guestlib_nqe_prep, "guestlib.prep")
-        nqe = NQE_POOL.acquire(op, self.vm_id, sock.home_qset, sock.sock_id,
-                               op_data=op_data, data_ptr=data_ptr, size=size,
-                               aux=aux, created_at=self.sim.now)
-        event = self.sim.event()
-        self._pending[nqe.token] = event
-        yield from self._push(sock.home_qset, nqe)
-        response = yield event
+        attempts = 1 + (self.max_op_retries if op in IDEMPOTENT_OPS else 0)
+        response = None
+        for attempt in range(attempts):
+            nqe = NQE_POOL.acquire(op, self.vm_id, sock.home_qset,
+                                   sock.sock_id, op_data=op_data,
+                                   data_ptr=data_ptr, size=size, aux=aux,
+                                   created_at=self.sim.now)
+            token = nqe.token
+            event = self.sim.event()
+            self._pending[token] = event
+            yield from self._push(sock.home_qset, nqe)
+            if self.op_timeout is None:
+                response = yield event
+                break
+            deadline = self.sim.timeout(self.op_timeout * (2 ** attempt))
+            yield self.sim.any_of([event, deadline])
+            if event.triggered:
+                if not deadline.processed:
+                    deadline.cancel()
+                response = event.value
+                break
+            # Deadline expired first: withdraw the waiter so the poller
+            # releases the (possibly still coming) response.
+            self._pending.pop(token, None)
+            self.op_timeouts += 1
+            if self.obs is not None:
+                self.obs.on_op_timeout(op)
+            if attempt + 1 >= attempts:
+                raise TimedOutError(
+                    f"{op.name} got no response within "
+                    f"{attempts} attempt(s)")
+            self.op_retries += 1
+            if self.obs is not None:
+                self.obs.on_op_retry(op)
         yield core.execute(self.cost.guestlib_nqe_complete, "guestlib.complete")
-        return response
+        result = OpResult(response.op_data, response.aux)
+        NQE_POOL.release(response)
+        return result
 
     @staticmethod
-    def _check(response: Nqe) -> Nqe:
+    def _check(response: OpResult) -> OpResult:
         """Raise the right SocketError for an error response."""
         if response.op_data < 0:
-            errno = ERRNO_NAMES.get(-response.op_data, "EIO")
-            error = SocketError(errno)
-            error.errno_name = errno
-            raise error
+            raise socket_error_for(ERRNO_NAMES.get(-response.op_data, "EIO"))
         return response
+
+    def _rx_deadline(self) -> Optional[float]:
+        """Absolute give-up time for a blocking data wait (None = never).
+
+        Data waits get the full retry budget's worth of time — they are
+        not retriable (not idempotent), so the bound is a backstop against
+        a silently dead NSM rather than a per-attempt deadline."""
+        if self.op_timeout is None:
+            return None
+        return self.sim.now + self.op_timeout * (self.max_op_retries + 1)
+
+    def _wait_bounded(self, event, deadline: Optional[float], what: str):
+        """Wait for a readiness event, bounded by an absolute deadline."""
+        if deadline is None:
+            yield event
+            return
+        remaining = deadline - self.sim.now
+        if remaining <= 0:
+            self.op_timeouts += 1
+            raise TimedOutError(f"{what} deadline expired")
+        timer = self.sim.timeout(remaining)
+        yield self.sim.any_of([event, timer])
+        if event.triggered:
+            if not timer.processed:
+                timer.cancel()
+            return
+        self.op_timeouts += 1
+        raise TimedOutError(f"{what} deadline expired")
 
     # -- BSD socket API (generator coroutines) ---------------------------------------
 
@@ -333,6 +422,8 @@ class GuestLib:
         if listener.state != "listening":
             raise InvalidSocketStateError("accept() on a non-listener")
         while not listener.accept_q:
+            if listener.errno:
+                raise socket_error_for(listener.errno)
             event = self.sim.event()
             listener._readable_waiters.append(event)
             yield event
@@ -353,9 +444,7 @@ class GuestLib:
         if sock.state != "connected":
             raise NotConnectedError(f"send on {sock.state} socket")
         if sock.errno:
-            error = SocketError(sock.errno)
-            error.errno_name = sock.errno
-            raise error
+            raise socket_error_for(sock.errno)
         core = self._core_for(vcpu)
         total = 0
         view = memoryview(data)
@@ -367,11 +456,13 @@ class GuestLib:
                 sock._writable_waiters.append(event)
                 yield event
                 if sock.errno:
-                    error = SocketError(sock.errno)
-                    error.errno_name = sock.errno
-                    raise error
+                    raise socket_error_for(sock.errno)
             buffer = self.hugepages.try_alloc(len(chunk))
             while buffer is None:
+                if sock.errno:
+                    # Connection died while we waited for hugepage space
+                    # (e.g. NSM quarantine): stop retrying, surface it.
+                    raise socket_error_for(sock.errno)
                 yield self.sim.timeout(10e-6)  # region full: retry shortly
                 buffer = self.hugepages.try_alloc(len(chunk))
             buffer.write(bytes(chunk))
@@ -393,16 +484,18 @@ class GuestLib:
         if sock.kind != "dgram":
             raise InvalidSocketStateError("sendto on a stream socket")
         if sock.errno:
-            error = SocketError(sock.errno)
-            error.errno_name = sock.errno
-            raise error
+            raise socket_error_for(sock.errno)
         core = self._core_for(vcpu)
         while sock.tx_inflight + len(data) > sock.tx_cap:
             event = self.sim.event()
             sock._writable_waiters.append(event)
             yield event
+            if sock.errno:
+                raise socket_error_for(sock.errno)
         buffer = self.hugepages.try_alloc(len(data))
         while buffer is None:
+            if sock.errno:
+                raise socket_error_for(sock.errno)
             yield self.sim.timeout(10e-6)
             buffer = self.hugepages.try_alloc(len(data))
         buffer.write(bytes(data))
@@ -422,14 +515,13 @@ class GuestLib:
         if sock.kind != "dgram":
             raise InvalidSocketStateError("recvfrom on a stream socket")
         core = self._core_for(vcpu)
+        deadline = self._rx_deadline()
         while not sock.rx_dgrams:
             if sock.errno:
-                error = SocketError(sock.errno)
-                error.errno_name = sock.errno
-                raise error
+                raise socket_error_for(sock.errno)
             event = self.sim.event()
             sock._readable_waiters.append(event)
-            yield event
+            yield from self._wait_bounded(event, deadline, "recvfrom")
         data, src = sock.rx_dgrams.popleft()
         sock.bytes_received += len(data)
         yield core.execute(self.cost.hugepage_copy_cycles(len(data)),
@@ -439,18 +531,17 @@ class GuestLib:
     def recv(self, sock: NetKernelSocket, max_bytes: int, vcpu: int = 0):
         """recv(): copy from hugepages to userspace; b"" means EOF."""
         core = self._core_for(vcpu)
+        deadline = self._rx_deadline()
         while sock.rx_ready_bytes == 0:
             if sock.peer_closed:
                 return b""
             if sock.errno:
-                error = SocketError(sock.errno)
-                error.errno_name = sock.errno
-                raise error
+                raise socket_error_for(sock.errno)
             if sock.state not in ("connected", "write_closed"):
                 raise NotConnectedError(f"recv on {sock.state} socket")
             event = self.sim.event()
             sock._readable_waiters.append(event)
-            yield event
+            yield from self._wait_bounded(event, deadline, "recv")
         data = self._take_rx(sock, max_bytes)
         yield core.execute(self.cost.hugepage_copy_cycles(len(data)),
                            "guestlib.recv_copy")
@@ -499,11 +590,17 @@ class GuestLib:
         # Linearize with the data path: a CLOSE travels the job ring and
         # could overtake SEND NQEs in the send ring, so wait until every
         # pipelined send has been credited by the NSM (the kernel's
-        # close-time flush of the socket buffer).
+        # close-time flush of the socket buffer).  With a deadline armed,
+        # stop waiting once it expires — close is best-effort and must
+        # not hang on a dead NSM's missing credits.
+        deadline = self._rx_deadline()
         while sock.tx_inflight > 0 and not sock.errno:
             event = self.sim.event()
             sock._writable_waiters.append(event)
-            yield event
+            try:
+                yield from self._wait_bounded(event, deadline, "close drain")
+            except TimedOutError:
+                break
         state_was = sock.state
         sock.state = "closed"
         self.fd_table.pop(sock.fd, None)
@@ -524,10 +621,11 @@ class GuestLib:
         """
         if sock.state != "connected":
             raise NotConnectedError(f"shutdown on {sock.state} socket")
+        deadline = self._rx_deadline()
         while sock.tx_inflight > 0 and not sock.errno:
             event = self.sim.event()
             sock._writable_waiters.append(event)
-            yield event
+            yield from self._wait_bounded(event, deadline, "shutdown drain")
         response = yield from self._call(vcpu, sock, NqeOp.SHUTDOWN)
         self._check(response)
         sock.state = "write_closed"
@@ -541,6 +639,13 @@ class GuestLib:
             aux={"option": option})
         self._check(response)
         return 0
+
+    def getsockopt(self, sock: NetKernelSocket, option: str, vcpu: int = 0):
+        """getsockopt(): read back an option value recorded by the NSM."""
+        response = yield from self._call(
+            vcpu, sock, NqeOp.GETSOCKOPT, aux={"option": option})
+        self._check(response)
+        return response.op_data
 
     # -- epoll ---------------------------------------------------------------------
 
@@ -605,25 +710,30 @@ class GuestLib:
                 self.nqes_received += 1
                 if self.obs is not None:
                     self.obs.on_guest_deliver(nqe)
-                self._dispatch(nqe, qset_index)
-                # GuestLib is the final consumer of event NQEs; OP_RESULT
-                # elements are handed to the blocked caller and stay live.
-                if nqe.op is not NqeOp.OP_RESULT:
+                retained = self._dispatch(nqe, qset_index)
+                # GuestLib is the final consumer of inbound NQEs, except
+                # an OP_RESULT claimed by a blocked caller (released by
+                # _call once it copies the result out).
+                if not retained:
                     NQE_POOL.release(nqe)
 
-    def _dispatch(self, nqe: Nqe, qset_index: int) -> None:
+    def _dispatch(self, nqe: Nqe, qset_index: int) -> bool:
+        """Handle one inbound NQE; True if a waiter took ownership."""
         if nqe.op in (NqeOp.OP_RESULT,):
             event = self._pending.pop(nqe.token, None)
             if event is not None and not event.triggered:
                 event.succeed(nqe)
-            return
+                return True
+            # No waiter: a response that lost its race with the op's
+            # deadline (the caller timed out and moved on) — drop it.
+            return False
         sock = self._by_sock_id.get(nqe.socket_id)
         if sock is None:
             # Response for a closed socket: free any payload it carries.
             if nqe.op == NqeOp.DATA_ARRIVED and nqe.data_ptr:
                 buffer = self.hugepages.get(nqe.data_ptr)
                 buffer.free()
-            return
+            return False
         if nqe.op == NqeOp.SEND_RESULT:
             sock.tx_inflight = max(0, sock.tx_inflight - nqe.size)
             if nqe.op_data < 0:

@@ -137,11 +137,14 @@ class NetKernelHost:
     def add_vm(self, name: str, vcpus: int = 1,
                nsm: Optional[NetworkStackModule] = None,
                user: str = "tenant",
-               poll_window_sec: Optional[float] = None) -> GuestVM:
+               poll_window_sec: Optional[float] = None,
+               op_timeout: Optional[float] = None,
+               max_op_retries: int = 3) -> GuestVM:
         """Boot a tenant VM and connect it to its serving NSM.
 
         With ``nsm=None`` CoreEngine load-balances the VM onto the
-        least-loaded registered NSM (§4.3 fn. 1).
+        least-loaded registered NSM (§4.3 fn. 1).  ``op_timeout`` /
+        ``max_op_retries`` arm GuestLib's per-op deadlines (§8).
         """
         if name in self.vms:
             raise ConfigurationError(f"VM {name} already exists")
@@ -151,7 +154,9 @@ class NetKernelHost:
             name, queue_sets=vcpus, hugepages=region,
             poll_window_sec=poll_window_sec)
         vm.vm_id = vm_id
-        vm.guestlib = GuestLib(self.sim, vm_id, device, vm.cores, self.cost)
+        vm.guestlib = GuestLib(self.sim, vm_id, device, vm.cores, self.cost,
+                               op_timeout=op_timeout,
+                               max_op_retries=max_op_retries)
         if nsm is None:
             # Dynamic load balancing by CoreEngine (§4.3 fn. 1).
             nsm_id = self.coreengine.assign_vm_auto(vm_id)
@@ -177,6 +182,35 @@ class NetKernelHost:
         self.coreengine.assign_vm(vm.vm_id, nsm.nsm_id)
         region = self.coreengine.vm_device(vm.vm_id).hugepages
         nsm.servicelib.attach_vm_region(vm.vm_id, region)
+
+    # -- failure detection & failover (§8) ---------------------------------------
+
+    def enable_failover(self, heartbeat_interval: float = 1e-3,
+                        detection_timeout: float = 5e-3) -> None:
+        """Arm NSM failure detection plus automatic VM re-assignment.
+
+        CoreEngine heartbeats every NSM; one that stays silent past
+        ``detection_timeout`` is quarantined, its in-flight work fails
+        fast with ECONNRESET, and its VMs are rebound to the least-loaded
+        surviving NSM.  The listener registered here completes the
+        host-level half of that rebinding: attaching each moved VM's
+        hugepage region to the standby's ServiceLib (the same wiring
+        ``switch_nsm`` does for planned moves).
+        """
+        self.coreengine.enable_health_monitor(
+            heartbeat_interval=heartbeat_interval,
+            detection_timeout=detection_timeout)
+
+        def attach_region(vm_id: int, dead_nsm_id: int,
+                          standby_id: int) -> None:
+            standby = next((n for n in self.nsms.values()
+                            if n.nsm_id == standby_id), None)
+            if standby is None:
+                return
+            region = self.coreengine.vm_device(vm_id).hugepages
+            standby.servicelib.attach_vm_region(vm_id, region)
+
+        self.coreengine.failover_listeners.append(attach_region)
 
     def remove_vm(self, vm: GuestVM) -> None:
         """Tear down a VM: deregister its NK device (§4.4)."""

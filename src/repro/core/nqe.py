@@ -51,12 +51,18 @@ class NqeOp(enum.IntEnum):
     #: window (the simulation's explicit form of the paper's "receive
     #: buffer usage" accounting in §4.5).
     RECV_CREDIT = 10
+    #: CoreEngine health probe into an NSM's job ring (§8's failure
+    #: discussion); answered by ServiceLib with HEARTBEAT_ACK.
+    HEARTBEAT = 11
     # VM -> NSM operations with data (send queue).
     SEND = 16
     SENDTO = 17
     # NSM -> VM results (completion queue).
     OP_RESULT = 32
     SEND_RESULT = 33
+    #: ServiceLib's liveness answer, intercepted by CoreEngine (never
+    #: delivered to a VM).
+    HEARTBEAT_ACK = 34
     # NSM -> VM events (receive queue).
     DATA_ARRIVED = 48
     ACCEPT_EVENT = 49
@@ -150,18 +156,21 @@ class NqePool:
     released element when one is available, fully reinitializing every
     field (including ``trace``, so a recycled element never leaks stale
     observability stamps).  ``release`` is called by the *final consumer*
-    of an element — GuestLib for completion/event NQEs it has dispatched,
-    ServiceLib for request NQEs it has handled — never by intermediaries,
-    and never for elements a waiter retains (OP_RESULT responses are
-    handed to the blocked caller; CONNECT requests are captured by the
-    stack's completion callbacks).
+    of an element — GuestLib for inbound NQEs (its ``_call`` releases an
+    OP_RESULT once the blocked caller has copied the result out; the
+    poller releases everything else, including orphaned responses whose
+    caller timed out), ServiceLib for request NQEs it has handled (a
+    CONNECT is released by its resolution callback), and CoreEngine for
+    elements it drops or intercepts (backpressure drops, heartbeat ACKs,
+    reclaimed rings) — never by intermediaries.
 
     Recycling is observable only through the pool's own counters: a
     recycled element is field-for-field identical to a fresh one, so the
     simulated timeline does not depend on pool hits or misses.
     """
 
-    __slots__ = ("max_free", "_free", "allocated", "reused", "released")
+    __slots__ = ("max_free", "_free", "allocated", "reused", "released",
+                 "discarded")
 
     def __init__(self, max_free: int = 8192):
         self.max_free = max_free
@@ -170,6 +179,8 @@ class NqePool:
         self.allocated = 0
         self.reused = 0
         self.released = 0
+        #: Returns past the free-list cap: consumed, but not retained.
+        self.discarded = 0
 
     def acquire(self, op: NqeOp, vm_id: int, queue_set_id: int,
                 socket_id: int, op_data: int = 0, data_ptr: int = 0,
@@ -190,13 +201,25 @@ class NqePool:
     def release(self, nqe: Nqe) -> None:
         """Return a fully consumed element to the free list."""
         if len(self._free) >= self.max_free:
+            self.discarded += 1
             return
         nqe.aux = None
         nqe.trace = None
         self._free.append(nqe)
         self.released += 1
 
+    @property
+    def outstanding(self) -> int:
+        """Acquired elements not yet returned by their final consumer.
+
+        Leak detector for tests: at quiescence (no NQEs in any ring, no
+        blocked callers) this must be back to its pre-workload value.
+        """
+        return (self.allocated + self.reused) - (self.released + self.discarded)
+
     def stats(self) -> dict:
+        # ``discarded`` and ``outstanding`` stay off this dict: they are
+        # leak-detector internals exposed via the ``outstanding`` property.
         return {"allocated": self.allocated, "reused": self.reused,
                 "released": self.released, "free": len(self._free)}
 

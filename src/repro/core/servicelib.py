@@ -16,6 +16,14 @@ buffer usage": ServiceLib stops draining the stack (letting TCP flow
 control push back on the sender) once a connection has
 ``recv_window_bytes`` in flight toward the guest, and resumes when
 RECV_CREDIT NQEs report consumption.
+
+Failure handling (§8): a ServiceLib can be crashed (fault injection or a
+real NSM death in the model) via :meth:`ServiceLib.crash` — pollers stop,
+stack callbacks turn into no-ops and every emission path drops its NQE
+(freeing hugepage payloads), so a dead NSM neither answers heartbeats nor
+leaks resources.  :meth:`ServiceLib.stall` models a slow/overloaded NSM:
+pollers sleep until the stall expires, which delays heartbeat ACKs and can
+trip CoreEngine's failure detector exactly like a crash would.
 """
 
 from __future__ import annotations
@@ -56,6 +64,8 @@ class _SocketContext:
         self.closing = False
         self.peer_closed_sent = False
         self.connect_token: Optional[Nqe] = None
+        #: setsockopt values recorded for getsockopt round-trips.
+        self.options: Dict[str, int] = {}
 
 
 class ServiceLib:
@@ -86,6 +96,12 @@ class ServiceLib:
         # Statistics.
         self.nqes_processed = 0
         self.nqes_emitted = 0
+        self.nqes_dropped_crashed = 0
+
+        # Failure state (§8): crashed NSMs stop polling and emitting;
+        # stalled NSMs sleep until the stall expires.
+        self.crashed = False
+        self._stall_until = 0.0
 
         # Observability (repro.obs); None = tracing disabled (default).
         self.obs = None
@@ -100,11 +116,40 @@ class ServiceLib:
             raise KeyError(f"no hugepage region attached for VM {vm_id}")
         return region
 
+    # -- failure injection (§8) ---------------------------------------------
+
+    def crash(self) -> None:
+        """Kill this NSM's stack processing: pollers exit, callbacks and
+        emissions become drops.  Irreversible (a restarted NSM registers
+        as a fresh one, as in the paper's failover discussion)."""
+        self.crashed = True
+
+    def stall(self, duration: float) -> None:
+        """Freeze the pollers for ``duration`` seconds of sim time (an
+        overloaded or wedged NSM).  Heartbeat ACKs are delayed with
+        everything else, so a long stall looks like a failure to CE."""
+        self._stall_until = max(self._stall_until, self.sim.now + duration)
+
+    def _discard(self, nqe: Nqe) -> None:
+        """Drop an NQE a crashed NSM would have emitted, freeing any
+        hugepage payload it references so nothing leaks."""
+        self.nqes_dropped_crashed += 1
+        if nqe.data_ptr:
+            region = self._regions.get(nqe.vm_id)
+            if region is not None:
+                buffer = region.lookup(nqe.data_ptr)
+                if buffer is not None and not buffer.freed:
+                    buffer.free()
+        NQE_POOL.release(nqe)
+
     # -- emission (NSM -> VM) ------------------------------------------------
 
     def _emit(self, ctx_qset: int, nqe: Nqe, event: bool) -> None:
         """Produce one NQE toward CoreEngine, retrying while the ring is
         full (callback-safe: retries are scheduled, not blocking)."""
+        if self.crashed:
+            self._discard(nqe)
+            return
         qs = self.device.queue_sets[ctx_qset % len(self.device.queue_sets)]
         completion_ring, receive_ring = self.device.produce_rings(qs)
         ring = receive_ring if event else completion_ring
@@ -112,7 +157,9 @@ class ServiceLib:
         core.charge(self.cost.servicelib_nqe_prep, "servicelib.prep")
 
         def attempt() -> None:
-            if ring.try_push(nqe, owner=self):
+            if self.crashed:
+                self._discard(nqe)
+            elif ring.try_push(nqe, owner=self):
                 self.nqes_emitted += 1
                 if self.obs is not None:
                     self.obs.on_nsm_emit(nqe)
@@ -139,7 +186,10 @@ class ServiceLib:
         qs = self.device.queue_sets[qset_index]
         core = self.cores[qset_index % len(self.cores)]
         job_ring, send_ring = self.device.consume_rings(qs)
-        while True:
+        while not self.crashed:
+            if self._stall_until > self.sim.now:
+                yield self.sim.timeout(self._stall_until - self.sim.now)
+                continue
             batch = job_ring.pop_batch(32, owner=self)
             batch.extend(send_ring.pop_batch(32, owner=self))
             if not batch:
@@ -148,6 +198,10 @@ class ServiceLib:
             cycles = len(batch) * self.cost.servicelib_nqe_dispatch
             yield core.execute(cycles, "servicelib.dispatch")
             for nqe in batch:
+                if self.crashed:
+                    # Crash landed mid-batch: drop the rest unprocessed.
+                    self._discard(nqe)
+                    continue
                 self.nqes_processed += 1
                 if self.obs is not None:
                     self.obs.on_nsm_consume(nqe)
@@ -170,7 +224,9 @@ class ServiceLib:
             NqeOp.RECV_CREDIT: self._op_recv_credit,
             NqeOp.CLOSE: self._op_close,
             NqeOp.SETSOCKOPT: self._op_setsockopt,
+            NqeOp.GETSOCKOPT: self._op_getsockopt,
             NqeOp.SHUTDOWN: self._op_shutdown,
+            NqeOp.HEARTBEAT: self._op_heartbeat,
         }.get(nqe.op)
         if handler is None:
             self._respond_errno(nqe, qset, "EINVAL")
@@ -238,28 +294,43 @@ class ServiceLib:
         yield  # pragma: no cover
 
     def _op_connect(self, nqe: Nqe, qset: int, core):
+        # The poller does not release CONNECT requests (they stay live in
+        # the stack's completion callbacks), so every exit from this
+        # handler must release the request itself.
         ctx = self._by_vm_tuple.get(nqe.vm_tuple)
         if ctx is None:
             self._respond_errno(nqe, qset, "EBADF")
+            NQE_POOL.release(nqe)
             return
         remote = (nqe.aux or {}).get("remote")
         if remote is None:
             self._respond_errno(nqe, qset, "EINVAL")
+            NQE_POOL.release(nqe)
             return
         sock = ctx.stack_sock
 
-        def on_connected(_sock) -> None:
-            self._respond(nqe, qset, op_data=0)
+        def finish(errno_name: Optional[str]) -> None:
+            # The stack may fire both on_connected and (later) on_error;
+            # the CONNECT request resolves exactly once, after which
+            # ServiceLib is its final consumer.
+            if ctx.connect_token is not nqe:
+                return
+            ctx.connect_token = None
+            if errno_name is None:
+                self._respond(nqe, qset, op_data=0)
+                # Post-connect stack errors become ERROR_EVENTs.
+                sock.on_error = lambda _s, errno: self._emit_error(ctx, errno)
+            else:
+                self._respond_errno(nqe, qset, errno_name)
+            NQE_POOL.release(nqe)
 
-        def on_error(_sock, errno_name: str) -> None:
-            self._respond_errno(nqe, qset, errno_name)
-
-        sock.on_connected = on_connected
-        sock.on_error = on_error
+        ctx.connect_token = nqe
+        sock.on_connected = lambda _s: finish(None)
+        sock.on_error = lambda _s, errno_name: finish(errno_name)
         try:
             self.stack.connect(sock, remote)
         except SocketError as error:
-            self._respond_errno(nqe, qset, error.errno_name)
+            finish(error.errno_name)
         return
         yield  # pragma: no cover
 
@@ -280,15 +351,50 @@ class ServiceLib:
         # Options are accepted and recorded; the simulated stacks have no
         # tunables that alter behaviour (SO_REUSEPORT is modelled at the
         # capacity level in repro.model).
+        ctx = self._by_vm_tuple.get(nqe.vm_tuple)
+        option = (nqe.aux or {}).get("option")
+        if ctx is not None and option is not None:
+            ctx.options[option] = nqe.op_data
         self._respond(nqe, qset, op_data=0)
         return
         yield  # pragma: no cover
+
+    def _op_getsockopt(self, nqe: Nqe, qset: int, core):
+        """Read back a recorded option value (0 for never-set options)."""
+        ctx = self._by_vm_tuple.get(nqe.vm_tuple)
+        if ctx is None:
+            self._respond_errno(nqe, qset, "EBADF")
+            return
+        option = (nqe.aux or {}).get("option")
+        self._respond(nqe, qset, op_data=ctx.options.get(option, 0))
+        return
+        yield  # pragma: no cover
+
+    def _op_heartbeat(self, nqe: Nqe, qset: int, core):
+        """CoreEngine liveness probe: answer immediately on the completion
+        ring.  A crashed/stalled NSM never reaches this handler, which is
+        exactly what CE's failure detector keys on."""
+        self._emit(qset, nqe.response(NqeOp.HEARTBEAT_ACK), event=False)
+        return
+        yield  # pragma: no cover
+
+    def _abort_pending_connect(self, ctx: _SocketContext, qset: int) -> None:
+        """A close raced an in-flight connect.  Once the socket is torn
+        down the stack never fires the connect callbacks, so resolve the
+        parked CONNECT request here or its NQE is leaked."""
+        pending = ctx.connect_token
+        if pending is None:
+            return
+        ctx.connect_token = None
+        self._respond_errno(pending, qset, "ECONNRESET")
+        NQE_POOL.release(pending)
 
     def _op_close(self, nqe: Nqe, qset: int, core):
         ctx = self._by_vm_tuple.get(nqe.vm_tuple)
         if ctx is None:
             self._respond(nqe, qset, op_data=0, req_op=NqeOp.CLOSE)
             return
+        self._abort_pending_connect(ctx, qset)
         ctx.closing = True
         if ctx.kind == "udp":
             self.stack.udp_close(ctx.stack_sock)
@@ -350,6 +456,8 @@ class ServiceLib:
 
     def _flush_tx(self, ctx: _SocketContext, request: Optional[Nqe] = None) -> None:
         """Push pending bytes into the stack; credit the guest as accepted."""
+        if self.crashed:
+            return
         accepted_total = 0
         while ctx.pending_tx:
             chunk = ctx.pending_tx[0]
@@ -404,7 +512,7 @@ class ServiceLib:
 
     def _pump_udp_rx(self, ctx: _SocketContext) -> None:
         """Forward queued datagrams to the guest as DATA_ARRIVED events."""
-        if ctx.vm_tuple is None:
+        if self.crashed or ctx.vm_tuple is None:
             return
         vm_id, vm_qset, vm_sock = ctx.vm_tuple
         core = self.cores[ctx.qset % len(self.cores)]
@@ -436,7 +544,7 @@ class ServiceLib:
 
     def _pump_rx(self, ctx: _SocketContext) -> None:
         """Move received bytes from the stack into hugepages + NQEs."""
-        if ctx.vm_tuple is None:
+        if self.crashed or ctx.vm_tuple is None:
             return
         sock = ctx.stack_sock
         core = self.cores[ctx.qset % len(self.cores)]
@@ -468,7 +576,7 @@ class ServiceLib:
             self._emit(ctx.qset, event, event=True)
 
     def _emit_error(self, ctx: _SocketContext, errno_name: str) -> None:
-        if ctx.vm_tuple is None:
+        if self.crashed or ctx.vm_tuple is None:
             return
         vm_id, vm_qset, vm_sock = ctx.vm_tuple
         code = RESULT_ERRNO.get(errno_name, 5)
@@ -488,7 +596,7 @@ class ServiceLib:
     def _drain_accepts(self, listener_ctx: _SocketContext) -> None:
         """Pipelined accept (§4.6): take connections from the stack now,
         announce them to the guest with ACCEPT_EVENT NQEs."""
-        if listener_ctx.vm_tuple is None:
+        if self.crashed or listener_ctx.vm_tuple is None:
             return
         vm_id, vm_qset, vm_sock = listener_ctx.vm_tuple
         while True:
@@ -513,5 +621,7 @@ class ServiceLib:
         return {
             "nqes_processed": self.nqes_processed,
             "nqes_emitted": self.nqes_emitted,
+            "nqes_dropped_crashed": self.nqes_dropped_crashed,
             "live_contexts": len(self._by_nsm_id),
+            "crashed": self.crashed,
         }

@@ -71,6 +71,9 @@ class SocketApi:
     def setsockopt(self, sock, option: str, value: int, vcpu: int = 0):
         raise NotImplementedError
 
+    def getsockopt(self, sock, option: str, vcpu: int = 0):
+        raise NotImplementedError
+
     def shutdown(self, sock, vcpu: int = 0):
         raise NotImplementedError
 
@@ -133,6 +136,9 @@ class NetKernelSocketApi(SocketApi):
     def setsockopt(self, sock: NetKernelSocket, option: str, value: int,
                    vcpu: int = 0):
         return (yield from self.guestlib.setsockopt(sock, option, value, vcpu))
+
+    def getsockopt(self, sock: NetKernelSocket, option: str, vcpu: int = 0):
+        return (yield from self.guestlib.getsockopt(sock, option, vcpu))
 
     def shutdown(self, sock: NetKernelSocket, vcpu: int = 0):
         return (yield from self.guestlib.shutdown(sock, vcpu))

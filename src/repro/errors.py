@@ -93,13 +93,76 @@ class OperationWouldBlockError(SocketError):
     errno_name = "EWOULDBLOCK"
 
 
-class TimeoutError_(SocketError):
-    """ETIMEDOUT: the operation (e.g. connect) timed out."""
+class TimedOutError(SocketError):
+    """ETIMEDOUT: the operation (connect, or a deadlined NQE op whose
+    NSM never answered) timed out."""
 
     errno_name = "ETIMEDOUT"
+
+
+#: Historical alias kept for callers written against the old name.
+TimeoutError_ = TimedOutError
 
 
 class MessageTooLargeError(SocketError):
     """EMSGSIZE: datagram larger than the allowed maximum."""
 
     errno_name = "EMSGSIZE"
+
+
+#: The single errno-name → exception-class map.  Trailing-underscore
+#: classes (ConnectionRefusedError_, ConnectionResetError_) exist only to
+#: dodge the Python builtins of the same name; this table is the one
+#: place that knows about the aliasing, so call sites raise via
+#: :func:`socket_error_for` instead of hand-assembling SocketError
+#: instances with a patched ``errno_name``.
+ERRNO_EXCEPTIONS = {
+    cls.errno_name: cls
+    for cls in (
+        BadFileDescriptorError,
+        AddressInUseError,
+        ConnectionRefusedError_,
+        ConnectionResetError_,
+        NotConnectedError,
+        AlreadyConnectedError,
+        InvalidSocketStateError,
+        OperationWouldBlockError,
+        TimedOutError,
+        MessageTooLargeError,
+    )
+}
+
+
+def socket_error_for(errno_name: str, message: str = "") -> SocketError:
+    """The typed SocketError for an errno name (generic for unknowns)."""
+    cls = ERRNO_EXCEPTIONS.get(errno_name)
+    if cls is not None:
+        return cls(message)
+    error = SocketError(message or errno_name)
+    error.errno_name = errno_name
+    return error
+
+
+__all__ = [
+    "NetKernelError",
+    "SimulationError",
+    "ResourceError",
+    "RingFullError",
+    "RingEmptyError",
+    "HugepageExhaustedError",
+    "ConfigurationError",
+    "SocketError",
+    "BadFileDescriptorError",
+    "AddressInUseError",
+    "ConnectionRefusedError_",
+    "ConnectionResetError_",
+    "NotConnectedError",
+    "AlreadyConnectedError",
+    "InvalidSocketStateError",
+    "OperationWouldBlockError",
+    "TimedOutError",
+    "TimeoutError_",
+    "MessageTooLargeError",
+    "ERRNO_EXCEPTIONS",
+    "socket_error_for",
+]

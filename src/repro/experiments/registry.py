@@ -52,6 +52,8 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-pipelining": _lazy("ablations", "run_pipelining"),
     "ablation-queues": _lazy("ablations", "run_queue_sharing"),
     "ablation-double-stack": _lazy("ablations", "run_double_stack"),
+    # Robustness (§8): NSM failure detection + connection failover.
+    "fig-failover": _lazy("fig_failover"),
 }
 
 

@@ -1,0 +1,235 @@
+"""The shared chaos workload: echo traffic under an armed fault plan.
+
+``run_chaos`` builds a small canonical topology — a client VM served by
+``nsm-a`` (the fault target), a standby ``nsm-b``, and an echo server VM
+on ``nsm-srv`` — arms a :class:`~repro.faults.plan.FaultPlan`, and drives
+paced request/response traffic through the failure.  The client survives
+every plan by construction: per-op deadlines (GuestLib ``op_timeout``)
+bound each blocking call, ECONNRESET from CoreEngine's quarantine path
+fails the connection fast, and the loop reconnects until traffic stops.
+
+The result carries a ``switch_fingerprint``: a SHA-256 over the
+simulated timeline's counters (sim clock/event counts, CoreEngine switch
+stats, application counters).  Process-global allocator state (NQE pool
+hits, token values, socket-id counters) is deliberately excluded — it
+differs between two runs in one process without affecting the timeline —
+so the same (seed, plan) replays to the same fingerprint, which
+``repro chaos --verify`` and the CI chaos-smoke job assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from repro.core.host import NetKernelHost
+from repro.core.nqe import NQE_POOL
+from repro.errors import SocketError, TimedOutError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, named_plan
+from repro.net.fabric import Network
+from repro.sim.engine import Simulator
+
+#: Echo service port and request payload size.
+ECHO_PORT = 7000
+REQUEST_BYTES = 256
+#: Gap between client requests (keeps the run cheap but steady).
+REQUEST_PACING = 0.5e-3
+
+
+def switch_fingerprint(payload: dict) -> str:
+    """SHA-256 over a JSON-canonicalized counter dict."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _echo_server(api, vm):
+    """Accept loop + per-connection echo children."""
+
+    def echo(conn):
+        try:
+            while True:
+                data = yield from api.recv(conn, 64 * 1024)
+                if not data:
+                    break
+                yield from api.send(conn, data)
+        except SocketError:
+            pass
+
+    listener = yield from api.socket()
+    yield from api.bind(listener, ECHO_PORT)
+    yield from api.listen(listener, backlog=128)
+    while True:
+        conn = yield from api.accept(listener)
+        vm.spawn(echo(conn))
+
+
+def _chaos_client(sim, api, counters, stop, fault_onset: float):
+    """Paced request loop that reconnects through failures."""
+    sock = None
+    while not stop["flag"]:
+        try:
+            if sock is None:
+                sock = yield from api.socket()
+                yield from api.connect(sock, ("nsm-srv", ECHO_PORT))
+                counters["connects"] += 1
+            payload = bytes(REQUEST_BYTES)
+            yield from api.send(sock, payload)
+            got = b""
+            while len(got) < REQUEST_BYTES:
+                data = yield from api.recv(sock, REQUEST_BYTES - len(got))
+                if not data:
+                    raise SocketError("peer closed mid-reply")
+                got += data
+            counters["requests_ok"] += 1
+            if (fault_onset is not None and sim.now > fault_onset
+                    and counters["recovered_at"] is None):
+                counters["recovered_at"] = sim.now
+            yield sim.timeout(REQUEST_PACING)
+        except TimedOutError:
+            counters["timeouts"] += 1
+            sock = yield from _scrap(api, sock)
+            yield sim.timeout(2e-3)
+        except SocketError as error:
+            if error.errno_name == "ECONNRESET":
+                counters["resets"] += 1
+            else:
+                counters["other_errors"] += 1
+            sock = yield from _scrap(api, sock)
+            yield sim.timeout(2e-3)
+    if sock is not None:
+        try:
+            yield from api.close(sock)
+        except SocketError:
+            pass
+
+
+def _scrap(api, sock):
+    """Best-effort close of a failed socket; always returns None."""
+    if sock is not None:
+        try:
+            yield from api.close(sock)
+        except SocketError:
+            pass
+    return None
+
+
+def run_chaos(seed: int = 0, plan_name: str = "nsm-crash",
+              duration: float = 0.6,
+              detection_timeout: float = 10e-3,
+              heartbeat_interval: float = 2e-3,
+              op_timeout: float = 20e-3,
+              plan: Optional[FaultPlan] = None) -> dict:
+    """One seeded chaos run; returns counters, fingerprint, leak report.
+
+    ``plan`` overrides ``plan_name`` when provided (for custom plans).
+    The client stops issuing requests at 0.8×duration and the health
+    monitor stops at 0.9×duration, so every in-flight element drains
+    before the resource-balance checks at the end.
+    """
+    pool_outstanding_before = NQE_POOL.outstanding
+
+    sim = Simulator()
+    network = Network(sim)
+    host = NetKernelHost(sim, network)
+    host.add_nsm("nsm-a", vcpus=1, stack="kernel")
+    host.add_nsm("nsm-b", vcpus=1, stack="kernel")
+    host.add_nsm("nsm-srv", vcpus=1, stack="kernel")
+    server_vm = host.add_vm("server", vcpus=1, nsm=host.nsms["nsm-srv"])
+    client_vm = host.add_vm("client", vcpus=1, nsm=host.nsms["nsm-a"],
+                            op_timeout=op_timeout, max_op_retries=3)
+    host.enable_failover(heartbeat_interval=heartbeat_interval,
+                         detection_timeout=detection_timeout)
+
+    if plan is None:
+        plan = named_plan(plan_name, duration, seed=seed,
+                          primary="nsm-a", vm="client")
+    injector = FaultInjector(sim, host, plan).arm()
+    fault_onset = min((e.at for e in plan.events), default=None)
+
+    counters = {
+        "connects": 0,
+        "requests_ok": 0,
+        "resets": 0,
+        "timeouts": 0,
+        "other_errors": 0,
+        "recovered_at": None,
+    }
+    stop = {"flag": False}
+
+    server_api = host.socket_api(server_vm)
+    client_api = host.socket_api(client_vm)
+    server_vm.spawn(_echo_server(server_api, server_vm))
+    client_vm.spawn(_chaos_client(sim, client_api, counters, stop,
+                                  fault_onset))
+
+    def stop_traffic():
+        stop["flag"] = True
+
+    sim.call_at(0.8 * duration, stop_traffic)
+    # Quiesce heartbeats before the end so in-flight probes drain and the
+    # pool-balance check below sees a stable state.
+    sim.call_at(0.9 * duration,
+                host.coreengine.disable_health_monitor)
+    sim.run(until=duration)
+
+    ce = host.coreengine
+    ce_stats = ce.stats()
+    timeline = {
+        "sim": {
+            "now": round(sim.now, 9),
+            "events_processed": sim.events_processed,
+            "events_cancelled": sim.events_cancelled,
+        },
+        "ce": ce_stats,
+        "client": dict(counters, recovered_at=(
+            round(counters["recovered_at"], 9)
+            if counters["recovered_at"] is not None else None)),
+        "nsms": {
+            name: nsm.servicelib.stats()
+            for name, nsm in sorted(host.nsms.items())
+        },
+        "guestlib": {
+            name: {
+                "nqes_sent": vm.guestlib.nqes_sent,
+                "nqes_received": vm.guestlib.nqes_received,
+                "op_timeouts": vm.guestlib.op_timeouts,
+                "op_retries": vm.guestlib.op_retries,
+            }
+            for name, vm in sorted(host.vms.items())
+        },
+        "faults": injector.stats(),
+    }
+
+    leaks = []
+    for name, vm in sorted(host.vms.items()):
+        region = ce.vm_device(vm.vm_id).hugepages
+        if region.live_buffers or region.allocated:
+            leaks.append(
+                f"{name}: {region.live_buffers} live hugepage buffer(s), "
+                f"{region.allocated} B still allocated")
+    pool_delta = NQE_POOL.outstanding - pool_outstanding_before
+    if pool_delta != 0:
+        leaks.append(f"NQE pool outstanding delta {pool_delta:+d}")
+
+    recovery = None
+    if counters["recovered_at"] is not None and fault_onset is not None:
+        recovery = counters["recovered_at"] - fault_onset
+
+    return {
+        "plan": plan.describe(),
+        "seed": seed,
+        "duration": duration,
+        "detection_timeout": detection_timeout,
+        "heartbeat_interval": heartbeat_interval,
+        "op_timeout": op_timeout,
+        "counters": counters,
+        "fault_onset": fault_onset,
+        "recovery_sec": recovery,
+        "quarantined": dict(ce.quarantined),
+        "ce": ce_stats,
+        "faults": injector.stats(),
+        "leaks": leaks,
+        "switch_fingerprint": switch_fingerprint(timeline),
+    }

@@ -1,0 +1,180 @@
+"""Declarative fault plans: what breaks, when, and how badly (§8).
+
+A plan is data, not behaviour — :class:`~repro.faults.injector.FaultInjector`
+interprets it against a live host.  Keeping plans declarative makes them
+printable (``describe``), comparable across runs, and easy to sweep in
+experiments (vary one knob, keep the seed).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Everything the injector knows how to break.
+FAULT_KINDS = frozenset((
+    "nsm-crash",            # ServiceLib stops, silently (the §8 scenario)
+    "nsm-stall",            # ServiceLib freezes for a while, then resumes
+    "doorbell-loss",        # kick() notifications dropped with probability p
+    "ring-slot-drop",       # CE->ring writes lost with probability p
+    "hugepage-exhaustion",  # a slab of the VM's region held hostage
+    "delayed-completion",   # CE delivery toward a device delayed by d sec
+))
+
+#: CLI-facing canonical plan names (see :func:`named_plan`).
+PLAN_NAMES = (
+    "nsm-crash",
+    "nsm-stall",
+    "doorbell-loss",
+    "ring-drop",
+    "hugepage-squeeze",
+    "delayed-completion",
+)
+
+
+class FaultEvent:
+    """One fault: a point event (crash, stall, squeeze) or a window
+    during which a probabilistic hook is active."""
+
+    __slots__ = ("kind", "at", "target", "duration", "probability", "param")
+
+    def __init__(self, kind: str, at: float, target: Optional[str] = None,
+                 duration: float = 0.0, probability: float = 1.0,
+                 param: float = 0.0):
+        if kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {kind!r}; choose from {sorted(FAULT_KINDS)}")
+        if at < 0 or duration < 0:
+            raise ConfigurationError("fault times must be non-negative")
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(f"probability {probability} not in [0, 1]")
+        self.kind = kind
+        self.at = at
+        self.target = target
+        self.duration = duration
+        self.probability = probability
+        self.param = param
+
+    @property
+    def end(self) -> float:
+        return self.at + self.duration
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "target": self.target,
+            "duration": self.duration,
+            "probability": self.probability,
+            "param": self.param,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<FaultEvent {self.kind} at={self.at} "
+                f"target={self.target}>")
+
+
+class FaultPlan:
+    """A seeded list of fault events, built fluently::
+
+        plan = (FaultPlan(seed=7)
+                .nsm_crash(0.2, "nsm-a")
+                .doorbell_loss(0.05, 0.1, probability=0.2))
+    """
+
+    def __init__(self, seed: int = 0, name: str = "custom"):
+        self.seed = seed
+        self.name = name
+        self.events: List[FaultEvent] = []
+
+    def _add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        return self
+
+    # -- builders ----------------------------------------------------------
+
+    def nsm_crash(self, at: float, nsm: str) -> "FaultPlan":
+        """Silently kill one NSM's ServiceLib at ``at`` (never recovers)."""
+        return self._add(FaultEvent("nsm-crash", at, target=nsm))
+
+    def nsm_stall(self, at: float, nsm: str, duration: float) -> "FaultPlan":
+        """Freeze one NSM's pollers for ``duration`` seconds."""
+        return self._add(FaultEvent("nsm-stall", at, target=nsm,
+                                    duration=duration))
+
+    def doorbell_loss(self, start: float, duration: float,
+                      probability: float,
+                      target: Optional[str] = None) -> "FaultPlan":
+        """Drop device doorbells with ``probability`` inside the window
+        (None target = every device)."""
+        return self._add(FaultEvent("doorbell-loss", start, target=target,
+                                    duration=duration,
+                                    probability=probability))
+
+    def ring_slot_drop(self, start: float, duration: float,
+                       probability: float,
+                       target: Optional[str] = None) -> "FaultPlan":
+        """Lose CE->device ring writes with ``probability`` in the window."""
+        return self._add(FaultEvent("ring-slot-drop", start, target=target,
+                                    duration=duration,
+                                    probability=probability))
+
+    def hugepage_squeeze(self, at: float, vm: str, fraction: float,
+                         duration: float) -> "FaultPlan":
+        """Hold ``fraction`` of the VM's free hugepage bytes hostage for
+        ``duration`` seconds (memory pressure / leak simulation)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(f"fraction {fraction} not in (0, 1]")
+        return self._add(FaultEvent("hugepage-exhaustion", at, target=vm,
+                                    duration=duration, param=fraction))
+
+    def delayed_completion(self, start: float, duration: float,
+                           delay: float,
+                           target: Optional[str] = None) -> "FaultPlan":
+        """Add ``delay`` seconds to every CE delivery toward the target
+        device inside the window (slow consumer / PCIe congestion)."""
+        return self._add(FaultEvent("delayed-completion", start,
+                                    target=target, duration=duration,
+                                    param=delay))
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "events": [event.describe() for event in self.events],
+        }
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def named_plan(name: str, duration: float, seed: int = 0,
+               primary: str = "nsm-a", vm: str = "client") -> FaultPlan:
+    """The canonical CLI/CI plans, parameterized by workload duration.
+
+    Fault onsets are fractions of ``duration`` so the same plan name
+    scales with the run length: the primary fault lands at 0.3×duration,
+    probabilistic windows span [0.3, 0.5]×duration.
+    """
+    plan = FaultPlan(seed=seed, name=name)
+    start, end = 0.3 * duration, 0.5 * duration
+    window = end - start
+    if name == "nsm-crash":
+        plan.nsm_crash(start, primary)
+    elif name == "nsm-stall":
+        plan.nsm_stall(start, primary, duration=window)
+    elif name == "doorbell-loss":
+        plan.doorbell_loss(start, window, probability=0.2)
+    elif name == "ring-drop":
+        plan.ring_slot_drop(start, window, probability=0.05)
+    elif name == "hugepage-squeeze":
+        plan.hugepage_squeeze(start, vm, fraction=0.8, duration=window)
+    elif name == "delayed-completion":
+        plan.delayed_completion(start, window, delay=200e-6)
+    else:
+        raise ConfigurationError(
+            f"unknown plan {name!r}; choose from {PLAN_NAMES}")
+    return plan

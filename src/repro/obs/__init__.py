@@ -75,6 +75,21 @@ class Observability:
     def on_guest_deliver(self, nqe) -> None:
         self.tracer.guest_deliver(nqe)
 
+    # -- failure/recovery hooks (§8) --------------------------------------
+
+    def on_nsm_quarantined(self, nsm_id: int, reason: str,
+                           vms_moved: int) -> None:
+        self.registry.counter("failover.quarantines").inc()
+        self.registry.counter("failover.vms_moved").inc(vms_moved)
+
+    def on_op_timeout(self, op) -> None:
+        self.registry.counter("guestlib.op_timeouts",
+                              op=getattr(op, "name", str(op))).inc()
+
+    def on_op_retry(self, op) -> None:
+        self.registry.counter("guestlib.op_retries",
+                              op=getattr(op, "name", str(op))).inc()
+
     # -- wiring ------------------------------------------------------------
 
     def attach_host(self, host,
@@ -168,6 +183,16 @@ class Observability:
                          for m in (self.tracer.traced,
                                    self.tracer.dropped_records)},
         }
+        failover = {}
+        for prefix in ("failover.", "guestlib.op_"):
+            for counter in self.registry.counters_named(prefix):
+                key = counter.name
+                op = counter.labels.get("op")
+                if op:
+                    key = f"{key}.{op}"
+                failover[key] = failover.get(key, 0) + counter.value
+        if failover:
+            report["failover"] = failover
         if self._host is not None:
             report["coreengine"] = self._host.coreengine.stats()
         return report

@@ -189,6 +189,12 @@ class MetricsRegistry:
             if name.startswith(prefix):
                 yield metric
 
+    def counters_named(self, prefix: str) -> Iterator[Counter]:
+        """All counters whose name starts with ``prefix``."""
+        for (name, _), metric in sorted(self._counters.items()):
+            if name.startswith(prefix):
+                yield metric
+
     def gauges_named(self, prefix: str) -> Iterator[Gauge]:
         """All gauges whose name starts with ``prefix``."""
         for (name, _), metric in sorted(self._gauges.items()):
