@@ -27,6 +27,12 @@ chaos
     ``--verify`` runs the plan twice and fails unless the two timelines
     are bit-identical (switch-fingerprint equality) and leak-free —
     the same check the chaos-smoke CI job runs.
+migrate
+    Run the seeded live-migration workload (``repro.faults.migration``):
+    N echo streams through a client VM that is live-migrated between
+    NSMs mid-traffic, with ops parked (not failed) during the blackout.
+    ``--verify`` runs twice and fails unless bit-identical, leak-free,
+    and zero-reset — the same check the migration-smoke CI job runs.
 """
 
 from __future__ import annotations
@@ -74,6 +80,7 @@ TITLES = {
     "ablation-queues": "Ablation: lockless per-vCPU queues vs shared",
     "ablation-double-stack": "Ablation: stack-on-hypervisor alternative",
     "fig-failover": "Recovery time vs failure-detection timeout",
+    "fig-migration": "Migration downtime vs live-connection count",
 }
 
 
@@ -280,6 +287,63 @@ def _cmd_chaos(seed: int, plan: str, duration: float,
     return exit_code
 
 
+def _cmd_migrate(seed: int, streams: int, duration: float,
+                 as_json: bool, verify: bool) -> int:
+    from repro.faults.migration import run_migration
+
+    runs = 2 if verify else 1
+    results = [run_migration(seed=seed, streams=streams, duration=duration)
+               for _ in range(runs)]
+    result = results[0]
+    if as_json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        counters = result["counters"]
+        record = result["migration"]
+        print(f"seed={seed} streams={streams} duration={duration}s")
+        print(f"  echoes_ok={counters['echoes_ok']} "
+              f"connects={counters['connects']} "
+              f"mismatches={counters['mismatches']} "
+              f"resets={counters['resets']} "
+              f"timeouts={counters['timeouts']}")
+        if record is not None:
+            print(f"  migrated {record['sockets_moved']} socket(s) "
+                  f"nsm{record['source_nsm']}→nsm{record['target_nsm']} "
+                  f"blackout={record['blackout_sec'] * 1e6:.1f}us "
+                  f"parked_ops={record['parked_ops']}")
+        else:
+            print(f"  migration FAILED: {result['migration_error']}")
+        print(f"  fingerprint={result['switch_fingerprint'][:16]}…")
+    exit_code = 0
+    for index, run in enumerate(results):
+        for leak in run["leaks"]:
+            print(f"RESOURCE LEAK (run {index + 1}): {leak}",
+                  file=sys.stderr)
+            exit_code = 1
+        counters = run["counters"]
+        if run["migration"] is None:
+            print(f"MIGRATION FAILED (run {index + 1}): "
+                  f"{run['migration_error']}", file=sys.stderr)
+            exit_code = 1
+        if counters["resets"] or counters["timeouts"] \
+                or counters["mismatches"]:
+            print(f"GUEST-VISIBLE DISRUPTION (run {index + 1}): "
+                  f"resets={counters['resets']} "
+                  f"timeouts={counters['timeouts']} "
+                  f"mismatches={counters['mismatches']}", file=sys.stderr)
+            exit_code = 1
+    if verify:
+        fingerprints = {run["switch_fingerprint"] for run in results}
+        if len(fingerprints) != 1:
+            print("TIMELINE DIVERGENCE: same seed+streams produced "
+                  f"{len(fingerprints)} distinct fingerprints",
+                  file=sys.stderr)
+            exit_code = 1
+        elif exit_code == 0:
+            print("verify OK: 2 runs bit-identical, zero-reset, no leaks")
+    return exit_code
+
+
 def _cmd_calibration() -> int:
     from repro.cpu.cost_model import DEFAULT_COST_MODEL
 
@@ -341,6 +405,19 @@ def main(argv: List[str] = None) -> int:
     chaos_parser.add_argument("--verify", action="store_true",
                               help="run twice; fail unless bit-identical "
                                    "and leak-free")
+    migrate_parser = sub.add_parser(
+        "migrate", help="run a seeded live-migration workload")
+    migrate_parser.add_argument("--seed", type=int, default=0,
+                                help="payload-pattern seed (default 0)")
+    migrate_parser.add_argument("--streams", type=int, default=8,
+                                help="concurrent echo streams (default 8)")
+    migrate_parser.add_argument("--duration", type=float, default=0.12,
+                                help="simulated seconds (default 0.12)")
+    migrate_parser.add_argument("--json", action="store_true",
+                                help="emit the full result as JSON")
+    migrate_parser.add_argument("--verify", action="store_true",
+                                help="run twice; fail unless bit-identical, "
+                                     "zero-reset, and leak-free")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -357,6 +434,9 @@ def main(argv: List[str] = None) -> int:
         return _cmd_chaos(args.seed, args.plan, args.duration,
                           args.detection_timeout, args.heartbeat_interval,
                           args.json, args.verify)
+    if args.command == "migrate":
+        return _cmd_migrate(args.seed, args.streams, args.duration,
+                            args.json, args.verify)
     return 1
 
 

@@ -105,6 +105,22 @@ class ConnectionTable:
         including entries whose NSM socket id is still pending."""
         return [e for e in self._by_vm.values() if e.nsm_id == nsm_id]
 
+    def rebind_vm(self, vm_id: int, new_nsm_id: int,
+                  queue_set_for) -> int:
+        """Point every one of ``vm_id``'s entries at a new NSM (live
+        migration).  ``queue_set_for(vm_tuple)`` supplies the queue set
+        on the new NSM.  Returns how many entries were rebound."""
+        rebound = 0
+        for entry in self.entries_for_vm(vm_id):
+            if entry.nsm_tuple is not None:
+                self._by_nsm.pop(entry.nsm_tuple, None)
+            entry.nsm_id = new_nsm_id
+            entry.nsm_queue_set = queue_set_for(entry.vm_tuple)
+            if entry.nsm_tuple is not None:
+                self._by_nsm[entry.nsm_tuple] = entry
+            rebound += 1
+        return rebound
+
     def nsm_loads(self) -> Dict[int, int]:
         """Live connection count per NSM id (the load-balancing signal)."""
         loads: Dict[int, int] = {}

@@ -120,7 +120,7 @@ _TOKENED_REQUESTS = frozenset((
 
 class _Registration:
     __slots__ = ("numeric_id", "device", "key", "state", "birth_pass",
-                 "active")
+                 "active", "parked")
 
     def __init__(self, numeric_id: int, device: NKDevice,
                  key: Tuple[int, int], birth_pass: int):
@@ -134,6 +134,9 @@ class _Registration:
         #: deferred to the next pass, like the full scan's snapshot.
         self.birth_pass = birth_pass
         self.active = True
+        #: Live migration: a parked device's produced NQEs wait in its
+        #: rings (ops park, they do not fail) until the move completes.
+        self.parked = False
 
 
 class CoreEngine:
@@ -208,9 +211,16 @@ class CoreEngine:
         # hot path pays only the attribute check.
         self.faults = None
 
+        # Live-migration state (§8's transparent-upgrade counterpart):
+        # completed migration records, in order.
+        self.migrations: List[dict] = []
+
         # Statistics.
         self.nqes_switched = 0
         self.batches = 0
+        self.vms_migrated = 0
+        self.conns_migrated = 0
+        self.migration_parked_ops = 0
         self.rate_limited_stalls = 0
         self.nqes_dropped = 0
         self.nqes_dropped_backpressure = 0
@@ -433,6 +443,164 @@ class CoreEngine:
                 listener(vm_id, nsm_id, standby)
         return moved
 
+    # -- live migration (zero-reset stack upgrade) ----------------------------
+
+    def migrate_vm(self, vm_id: int, target_nsm_id: int, source_lib,
+                   target_lib, blackout_base_sec: float = 50e-6,
+                   blackout_per_conn_sec: float = 1e-6):
+        """Move a VM's connections to another NSM without resetting them.
+
+        A generator: run it as a sim process (or ``yield from`` it).  The
+        protocol, in switch order:
+
+        1. *Quiesce*: park the VM's device — its GuestLib keeps producing
+           and blocking normally, but the switch stops consuming, so ops
+           issued during the move simply wait.
+        2. *Drain*: sweep the NQEs already produced (they route to the
+           source NSM), then poll until the source NSM has consumed and
+           finished every job/send NQE of this VM.
+        3. *Export/import*: the source ServiceLib exports every socket
+           context (TCBs, buffers, listen state, accept backlog travel
+           live); after the modeled blackout the hugepage region is
+           attached to the target and the contexts are imported there.
+        4. *Rebind*: the connection table points the VM's entries at the
+           target NSM; the VM→NSM assignment follows; the source unmaps
+           the region.
+        5. *Resume*: unpark, doorbell the switch (bypassing fault
+           injection — resume is an operator action, not a guest MMIO
+           write), and the parked ops flow to the target.
+
+        On any failure the VM is unparked and resumed before the error
+        propagates, so a botched migration degrades to PR 3's failover
+        path instead of wedging the guest.
+        """
+        vm_reg = self._vms.get(vm_id)
+        if vm_reg is None or not vm_reg.active:
+            raise ConfigurationError(f"unknown or inactive VM id {vm_id}")
+        if vm_reg.parked:
+            raise ConfigurationError(f"VM {vm_id} is already migrating")
+        source_nsm_id = self.vm_to_nsm.get(vm_id)
+        if source_nsm_id is None:
+            raise ConfigurationError(f"VM {vm_id} has no NSM assigned")
+        if source_nsm_id == target_nsm_id:
+            raise ConfigurationError(
+                f"VM {vm_id} is already served by NSM {target_nsm_id}")
+        target_reg = self._nsms.get(target_nsm_id)
+        if target_reg is None or not target_reg.active:
+            raise ConfigurationError(
+                f"target NSM {target_nsm_id} is not active")
+        source_reg = self._nsms.get(source_nsm_id)
+        if source_reg is None or not source_reg.active:
+            raise ConfigurationError(
+                f"source NSM {source_nsm_id} is not active")
+
+        started = self.sim.now
+        vm_reg.parked = True
+        try:
+            yield from self._drain_vm_rings(vm_reg)
+            yield from self._await_nsm_quiescent(source_reg, source_lib,
+                                                 vm_id)
+            blackout_started = self.sim.now
+            exports = source_lib.export_vm_sockets(vm_id)
+            blackout = (blackout_base_sec
+                        + blackout_per_conn_sec * len(exports))
+            yield self.sim.timeout(blackout)
+            region = self._vm_regions.get(vm_id)
+            if region is not None:
+                target_lib.attach_vm_region(vm_id, region)
+            target_lib.import_vm_sockets(vm_id, exports, source_lib.stack)
+            n_qsets = len(target_reg.device.queue_sets)
+            rebound = self.table.rebind_vm(
+                vm_id, target_nsm_id,
+                queue_set_for=lambda vt: hash(vt) % n_qsets)
+            self.vm_to_nsm[vm_id] = target_nsm_id
+            source_lib.detach_vm_region(vm_id)
+        except BaseException:
+            vm_reg.parked = False
+            self._resume_device(vm_reg)
+            raise
+        device = vm_reg.device
+        parked_ops = sum(len(ring) for qs in device.queue_sets
+                         for ring in device.produce_rings(qs))
+        vm_reg.parked = False
+        self._resume_device(vm_reg)
+        resumed = self.sim.now
+        record = {
+            "vm_id": vm_id,
+            "source_nsm": source_nsm_id,
+            "target_nsm": target_nsm_id,
+            "sockets_moved": len(exports),
+            "entries_rebound": rebound,
+            "parked_ops": parked_ops,
+            "started": round(started, 9),
+            "blackout_started": round(blackout_started, 9),
+            "resumed": round(resumed, 9),
+            "blackout_sec": round(resumed - blackout_started, 9),
+            "total_sec": round(resumed - started, 9),
+            "tcbs": [record["tcb"] for record in exports],
+        }
+        self.vms_migrated += 1
+        self.conns_migrated += len(exports)
+        self.migration_parked_ops += parked_ops
+        self.migrations.append(record)
+        if self.obs is not None:
+            self.obs.on_migration(vm_id, source_nsm_id, target_nsm_id,
+                                  record["blackout_sec"], len(exports),
+                                  parked_ops)
+        return record
+
+    def _drain_vm_rings(self, reg: _Registration):
+        """One bounded sweep over a parked VM's produce rings: everything
+        already produced is switched (toward the still-bound source NSM).
+        NQEs produced after the sweep wait parked and route to the target
+        after the rebind — which is where their contexts will live."""
+        device = reg.device
+        for qs in device.queue_sets:
+            for ring in device.produce_rings(qs):
+                pending = len(ring)
+                if not pending:
+                    continue
+                ring.claim_consumer(self)
+                while pending > 0:
+                    batch = ring.pop_batch(min(64, pending))
+                    if not batch:
+                        break
+                    pending -= len(batch)
+                    yield self.core.execute(
+                        self.cost.ce_batch_cycles(len(batch)), "ce.switch")
+                    self.batches += 1
+                    for nqe in batch:
+                        yield from self._route(reg, device, nqe)
+
+    def _await_nsm_quiescent(self, source_reg: _Registration, source_lib,
+                             vm_id: int):
+        """Poll until the source NSM holds no unconsumed job/send NQE of
+        the migrating VM and no handler is mid-flight.  Only the consume
+        side matters: completion/receive rings oscillate under live
+        inbound traffic, and export quiesces the callbacks that feed
+        them."""
+        device = source_reg.device
+        while True:
+            if source_lib.busy_handlers == 0:
+                pending = any(
+                    nqe is not None and nqe.vm_id == vm_id
+                    for qs in device.queue_sets
+                    for ring in device.consume_rings(qs)
+                    for nqe in ring.snapshot())
+                if not pending:
+                    return
+            yield self.sim.timeout(5e-6)
+
+    def _resume_device(self, reg: _Registration) -> None:
+        """Doorbell a freshly unparked device.  Unlike kick(), never
+        subject to injected doorbell loss: resume is an operator-plane
+        action, not a guest MMIO write."""
+        if self.scan == "ready":
+            self._mark_ready(reg)
+        if not self._doorbell.triggered:
+            self._doorbell.succeed()
+            self._doorbell = self.sim.event()
+
     def _pick_standby(self, exclude: int) -> Optional[int]:
         """The least-loaded active NSM other than ``exclude`` (the same
         live-connection-count signal assign_vm_auto balances on)."""
@@ -490,6 +658,14 @@ class CoreEngine:
             self.nqes_failed_fast += 1
             self._push_to_vm(result, event=False)
         elif op in (NqeOp.OP_RESULT, NqeOp.SEND_RESULT):
+            if (op is NqeOp.OP_RESULT and isinstance(nqe.aux, dict)
+                    and nqe.aux.get("req_op") in (NqeOp.CLOSE,
+                                                  NqeOp.SHUTDOWN)):
+                # A CLOSE/SHUTDOWN that already completed is terminal for
+                # the socket either way; rewriting its result would show
+                # the guest a spurious ECONNRESET on an op that succeeded.
+                self._push_to_vm(nqe, event=False)
+                return
             nqe.op_data = reset
             self.nqes_failed_fast += 1
             self._push_to_vm(nqe, event=False)
@@ -696,6 +872,10 @@ class CoreEngine:
     def _service_device(self, reg: _Registration):
         """Drain one device's produced rings; returns True, None, or a
         float (seconds until rate-limit tokens allow progress)."""
+        if reg.parked:
+            # Mid-migration: leave produced NQEs in the rings.  They are
+            # parked, not failed — the resume doorbell re-services them.
+            return None
         device = reg.device
         progressed = False
         stall: Optional[float] = None
@@ -905,6 +1085,9 @@ class CoreEngine:
             "nsms_quarantined": self.nsms_quarantined,
             "vms_failed_over": self.vms_failed_over,
             "conns_reset_on_failover": self.conns_reset_on_failover,
+            "vms_migrated": self.vms_migrated,
+            "conns_migrated": self.conns_migrated,
+            "migration_parked_ops": self.migration_parked_ops,
             "sched.mode": self.scan,
             "sched.passes": self._pass_counter,
             "sched.stale_wakeups": self.stale_wakeups,

@@ -521,7 +521,11 @@ class GuestLib:
                 raise socket_error_for(sock.errno)
             event = self.sim.event()
             sock._readable_waiters.append(event)
-            yield from self._wait_bounded(event, deadline, "recvfrom")
+            try:
+                yield from self._wait_bounded(event, deadline, "recvfrom")
+            except TimedOutError:
+                self._discard_waiter(sock._readable_waiters, event)
+                raise
         data, src = sock.rx_dgrams.popleft()
         sock.bytes_received += len(data)
         yield core.execute(self.cost.hugepage_copy_cycles(len(data)),
@@ -541,7 +545,11 @@ class GuestLib:
                 raise NotConnectedError(f"recv on {sock.state} socket")
             event = self.sim.event()
             sock._readable_waiters.append(event)
-            yield from self._wait_bounded(event, deadline, "recv")
+            try:
+                yield from self._wait_bounded(event, deadline, "recv")
+            except TimedOutError:
+                self._discard_waiter(sock._readable_waiters, event)
+                raise
         data = self._take_rx(sock, max_bytes)
         yield core.execute(self.cost.hugepage_copy_cycles(len(data)),
                            "guestlib.recv_copy")
@@ -583,6 +591,16 @@ class GuestLib:
                 sock.sock_id, op_data=credit, created_at=self.sim.now)
             yield from self._push(sock.home_qset, nqe)
 
+    @staticmethod
+    def _discard_waiter(waiters, event) -> None:
+        """Withdraw a waiter whose wait timed out.  Leaving it behind
+        would let a later wake-up pop a stale event for a caller that is
+        long gone — on a closed socket that wake is outright wrong."""
+        try:
+            waiters.remove(event)
+        except ValueError:
+            pass  # a concurrent _wake already consumed it
+
     def close(self, sock: NetKernelSocket, vcpu: int = 0):
         """close(): flush pipelined sends, then close the NSM socket."""
         if sock.state == "closed":
@@ -600,6 +618,7 @@ class GuestLib:
             try:
                 yield from self._wait_bounded(event, deadline, "close drain")
             except TimedOutError:
+                self._discard_waiter(sock._writable_waiters, event)
                 break
         state_was = sock.state
         sock.state = "closed"
@@ -625,7 +644,12 @@ class GuestLib:
         while sock.tx_inflight > 0 and not sock.errno:
             event = self.sim.event()
             sock._writable_waiters.append(event)
-            yield from self._wait_bounded(event, deadline, "shutdown drain")
+            try:
+                yield from self._wait_bounded(event, deadline,
+                                              "shutdown drain")
+            except TimedOutError:
+                self._discard_waiter(sock._writable_waiters, event)
+                raise
         response = yield from self._call(vcpu, sock, NqeOp.SHUTDOWN)
         self._check(response)
         sock.state = "write_closed"

@@ -183,6 +183,23 @@ class NetKernelHost:
         region = self.coreengine.vm_device(vm.vm_id).hugepages
         nsm.servicelib.attach_vm_region(vm.vm_id, region)
 
+    def migrate_vm(self, vm: GuestVM, target_nsm: NetworkStackModule,
+                   **kwargs):
+        """Live-migrate a VM's connections to ``target_nsm`` (zero-reset
+        stack upgrade).  Returns CoreEngine's migration generator — run
+        it with ``sim.process(...)`` or ``yield from`` it; it yields the
+        migration record on completion.  ``kwargs`` pass through to
+        :meth:`CoreEngine.migrate_vm` (blackout tuning)."""
+        source_nsm_id = self.coreengine.vm_to_nsm.get(vm.vm_id)
+        source = next((n for n in self.nsms.values()
+                       if n.nsm_id == source_nsm_id), None)
+        if source is None:
+            raise ConfigurationError(
+                f"VM {vm.name} has no live serving NSM to migrate from")
+        return self.coreengine.migrate_vm(
+            vm.vm_id, target_nsm.nsm_id, source.servicelib,
+            target_nsm.servicelib, **kwargs)
+
     # -- failure detection & failover (§8) ---------------------------------------
 
     def enable_failover(self, heartbeat_interval: float = 1e-3,

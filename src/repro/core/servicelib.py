@@ -35,7 +35,8 @@ from typing import Deque, Dict, Optional, Tuple
 from repro.core.nk_device import NKDevice
 from repro.core.nqe import NQE_POOL, Nqe, NqeOp, RESULT_ERRNO
 from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
-from repro.errors import SocketError
+from repro.errors import ConfigurationError, SocketError
+from repro.stack.tcp.tcb import tcb_manifest
 
 VmTuple = Tuple[int, int, int]
 
@@ -48,11 +49,16 @@ class _SocketContext:
 
     _ids = itertools.count(1)
 
-    def __init__(self, stack_sock, qset: int, kind: str = "stream"):
+    def __init__(self, stack_sock, qset: int, kind: str = "stream",
+                 lib: Optional["ServiceLib"] = None):
         self.nsm_sock_id = next(self._ids)
         self.stack_sock = stack_sock
         self.qset = qset
         self.kind = kind
+        #: The ServiceLib that currently owns this context.  Live
+        #: migration re-homes contexts; stale scheduled closures on the
+        #: old NSM check this before touching the socket.
+        self.lib = lib
         self.vm_tuple: Optional[VmTuple] = None
         self.is_listener = False
         self.listener_ctx: Optional["_SocketContext"] = None
@@ -97,6 +103,9 @@ class ServiceLib:
         self.nqes_processed = 0
         self.nqes_emitted = 0
         self.nqes_dropped_crashed = 0
+        #: Handlers currently executing (migration waits for zero before
+        #: exporting, so no NQE is half-processed across the move).
+        self.busy_handlers = 0
 
         # Failure state (§8): crashed NSMs stop polling and emitting;
         # stalled NSMs sleep until the stall expires.
@@ -109,6 +118,10 @@ class ServiceLib:
     def attach_vm_region(self, vm_id: int, region) -> None:
         """Map the hugepage region shared with one served VM."""
         self._regions[vm_id] = region
+
+    def detach_vm_region(self, vm_id: int) -> None:
+        """Unmap a VM's hugepage region (the VM migrated away)."""
+        self._regions.pop(vm_id, None)
 
     def _region_for(self, vm_id: int):
         region = self._regions.get(vm_id)
@@ -205,7 +218,11 @@ class ServiceLib:
                 self.nqes_processed += 1
                 if self.obs is not None:
                     self.obs.on_nsm_consume(nqe)
-                yield from self._handle(nqe, qset_index, core)
+                self.busy_handlers += 1
+                try:
+                    yield from self._handle(nqe, qset_index, core)
+                finally:
+                    self.busy_handlers -= 1
                 # ServiceLib is the final consumer of request NQEs; a
                 # CONNECT stays live inside the stack's completion
                 # callbacks until the connection resolves.
@@ -246,7 +263,7 @@ class ServiceLib:
                 self._respond_errno(nqe, qset, "EINVAL")
                 return
             stack_sock = self.stack.udp_socket()
-            ctx = _SocketContext(stack_sock, qset, kind="udp")
+            ctx = _SocketContext(stack_sock, qset, kind="udp", lib=self)
             ctx.vm_tuple = nqe.vm_tuple
             self._by_vm_tuple[ctx.vm_tuple] = ctx
             self._by_nsm_id[ctx.nsm_sock_id] = ctx
@@ -254,7 +271,7 @@ class ServiceLib:
             self._respond(nqe, qset, op_data=ctx.nsm_sock_id)
             return
         stack_sock = self.stack.socket()
-        ctx = _SocketContext(stack_sock, qset)
+        ctx = _SocketContext(stack_sock, qset, lib=self)
         ctx.vm_tuple = nqe.vm_tuple
         self._by_vm_tuple[ctx.vm_tuple] = ctx
         self._by_nsm_id[ctx.nsm_sock_id] = ctx
@@ -307,6 +324,23 @@ class ServiceLib:
             self._respond_errno(nqe, qset, "EINVAL")
             NQE_POOL.release(nqe)
             return
+        ctx.connect_token = nqe
+        finish = self._arm_connect_resolution(ctx, nqe, qset)
+        try:
+            self.stack.connect(ctx.stack_sock, remote)
+        except SocketError as error:
+            finish(error.errno_name)
+        return
+        yield  # pragma: no cover
+
+    def _arm_connect_resolution(self, ctx: _SocketContext, nqe: Nqe,
+                                qset: int):
+        """Install the callbacks that resolve a pending CONNECT request.
+
+        Factored out of :meth:`_op_connect` because migration must re-arm
+        them on the target NSM when a connect is in flight across the
+        blackout.  Returns the resolver for synchronous resolution.
+        """
         sock = ctx.stack_sock
 
         def finish(errno_name: Optional[str]) -> None:
@@ -324,15 +358,9 @@ class ServiceLib:
                 self._respond_errno(nqe, qset, errno_name)
             NQE_POOL.release(nqe)
 
-        ctx.connect_token = nqe
         sock.on_connected = lambda _s: finish(None)
         sock.on_error = lambda _s, errno_name: finish(errno_name)
-        try:
-            self.stack.connect(sock, remote)
-        except SocketError as error:
-            finish(error.errno_name)
-        return
-        yield  # pragma: no cover
+        return finish
 
     def _op_accept_attach(self, nqe: Nqe, qset: int, core):
         """The guest attached its socket id to an accepted connection."""
@@ -399,8 +427,11 @@ class ServiceLib:
         if ctx.kind == "udp":
             self.stack.udp_close(ctx.stack_sock)
             self._by_nsm_id.pop(ctx.nsm_sock_id, None)
-        elif not ctx.pending_tx:
-            self._finish_close(ctx)
+        else:
+            if ctx.is_listener:
+                self._reap_listener_backlog(ctx)
+            if not ctx.pending_tx:
+                self._finish_close(ctx)
         self._respond(nqe, qset, op_data=0, req_op=NqeOp.CLOSE)
         self._by_vm_tuple.pop(nqe.vm_tuple, None)
         return
@@ -436,6 +467,31 @@ class ServiceLib:
             pass
         self._by_nsm_id.pop(ctx.nsm_sock_id, None)
 
+    def _reap_listener_backlog(self, ctx: _SocketContext) -> None:
+        """Closing a listener strands the children the guest never
+        attached: pipelined-accept contexts (ACCEPT_EVENT still in flight
+        or unread) and connections queued inside the stack.  Reset and
+        free them all — as Linux does when a listening socket closes —
+        so neither stack connections nor contexts leak."""
+        for child in list(self._by_nsm_id.values()):
+            if child.listener_ctx is ctx and child.vm_tuple is None:
+                try:
+                    self.stack.abort(child.stack_sock)
+                except SocketError:
+                    pass
+                self._by_nsm_id.pop(child.nsm_sock_id, None)
+        while True:
+            try:
+                stranded = self.stack.accept(ctx.stack_sock)
+            except SocketError:
+                break
+            if stranded is None:
+                break
+            try:
+                self.stack.abort(stranded)
+            except SocketError:
+                pass
+
     # -- data path ----------------------------------------------------------------------
 
     def _op_send(self, nqe: Nqe, qset: int, core):
@@ -456,7 +512,7 @@ class ServiceLib:
 
     def _flush_tx(self, ctx: _SocketContext, request: Optional[Nqe] = None) -> None:
         """Push pending bytes into the stack; credit the guest as accepted."""
-        if self.crashed:
+        if self.crashed or ctx.lib is not self:
             return
         accepted_total = 0
         while ctx.pending_tx:
@@ -512,7 +568,7 @@ class ServiceLib:
 
     def _pump_udp_rx(self, ctx: _SocketContext) -> None:
         """Forward queued datagrams to the guest as DATA_ARRIVED events."""
-        if self.crashed or ctx.vm_tuple is None:
+        if self.crashed or ctx.lib is not self or ctx.vm_tuple is None:
             return
         vm_id, vm_qset, vm_sock = ctx.vm_tuple
         core = self.cores[ctx.qset % len(self.cores)]
@@ -544,7 +600,7 @@ class ServiceLib:
 
     def _pump_rx(self, ctx: _SocketContext) -> None:
         """Move received bytes from the stack into hugepages + NQEs."""
-        if self.crashed or ctx.vm_tuple is None:
+        if self.crashed or ctx.lib is not self or ctx.vm_tuple is None:
             return
         sock = ctx.stack_sock
         core = self.cores[ctx.qset % len(self.cores)]
@@ -576,7 +632,7 @@ class ServiceLib:
             self._emit(ctx.qset, event, event=True)
 
     def _emit_error(self, ctx: _SocketContext, errno_name: str) -> None:
-        if self.crashed or ctx.vm_tuple is None:
+        if self.crashed or ctx.lib is not self or ctx.vm_tuple is None:
             return
         vm_id, vm_qset, vm_sock = ctx.vm_tuple
         code = RESULT_ERRNO.get(errno_name, 5)
@@ -596,14 +652,15 @@ class ServiceLib:
     def _drain_accepts(self, listener_ctx: _SocketContext) -> None:
         """Pipelined accept (§4.6): take connections from the stack now,
         announce them to the guest with ACCEPT_EVENT NQEs."""
-        if self.crashed or listener_ctx.vm_tuple is None:
+        if (self.crashed or listener_ctx.lib is not self
+                or listener_ctx.vm_tuple is None):
             return
         vm_id, vm_qset, vm_sock = listener_ctx.vm_tuple
         while True:
             child = self.stack.accept(listener_ctx.stack_sock)
             if child is None:
                 return
-            ctx = _SocketContext(child, listener_ctx.qset)
+            ctx = _SocketContext(child, listener_ctx.qset, lib=self)
             ctx.listener_ctx = listener_ctx
             self._by_nsm_id[ctx.nsm_sock_id] = ctx
             self._install_callbacks(ctx)
@@ -613,6 +670,115 @@ class ServiceLib:
                 aux={"peer": getattr(child, "remote", None)},
                 created_at=self.sim.now)
             self._emit(listener_ctx.qset, event, event=True)
+
+    # -- live migration ----------------------------------------------------------------------
+
+    def export_vm_sockets(self, vm_id: int) -> list:
+        """Quiesce and hand over every socket context owned by ``vm_id``.
+
+        Each record carries the context object (the live stack socket
+        travels with it) plus a TCB manifest snapshot taken at export
+        time.  After this call the contexts belong to nobody: callbacks
+        are unhooked, so data arriving during the blackout accumulates in
+        the stack's receive buffers (the engine keeps ACKing) and is
+        flushed by the importer's resume.
+        """
+        if self.crashed:
+            raise ConfigurationError(
+                f"NSM {self.nsm_id} has crashed; nothing to export")
+        if not getattr(self.stack, "supports_migration", lambda: False)():
+            raise ConfigurationError(
+                f"stack {getattr(self.stack, 'name', '?')} does not "
+                "support live migration")
+        owned = []
+        for ctx in self._by_nsm_id.values():
+            if ctx.vm_tuple is not None:
+                if ctx.vm_tuple[0] == vm_id:
+                    owned.append(ctx)
+            elif (ctx.listener_ctx is not None
+                  and ctx.listener_ctx.vm_tuple is not None
+                  and ctx.listener_ctx.vm_tuple[0] == vm_id):
+                # Pipelined-accept children the guest has not attached
+                # yet travel with their listener.
+                owned.append(ctx)
+        if any(ctx.kind == "udp" for ctx in owned):
+            raise ConfigurationError(
+                "UDP sockets cannot be live-migrated")
+        owned.sort(key=lambda c: c.nsm_sock_id)
+        records = []
+        for ctx in owned:
+            sock = ctx.stack_sock
+            sock.on_readable = None
+            sock.on_writable = None
+            sock.on_accept_ready = None
+            sock.on_connected = None
+            sock.on_error = None
+            self._by_nsm_id.pop(ctx.nsm_sock_id, None)
+            if ctx.vm_tuple is not None:
+                self._by_vm_tuple.pop(ctx.vm_tuple, None)
+            ctx.lib = None
+            records.append({"ctx": ctx, "tcb": tcb_manifest(sock)})
+        return records
+
+    def import_vm_sockets(self, vm_id: int, records: list,
+                          source_stack) -> int:
+        """Adopt exported contexts: move their stack sockets onto our
+        stack, re-register the lookup maps, then resume each context
+        (re-installing callbacks and flushing anything that queued up
+        during the blackout)."""
+        if not getattr(self.stack, "supports_migration", lambda: False)():
+            raise ConfigurationError(
+                f"stack {getattr(self.stack, 'name', '?')} does not "
+                "support live migration")
+        n_qsets = len(self.device.queue_sets)
+        # Pass 1: move the stack-level endpoints.  Listeners bulk-move
+        # their children, so later per-child calls are no-ops.
+        for record in records:
+            source_stack.migrate_socket(record["ctx"].stack_sock,
+                                        self.stack)
+        # Pass 2: adopt the contexts under our queue-set geometry.
+        for record in records:
+            ctx = record["ctx"]
+            ctx.lib = self
+            if ctx.vm_tuple is not None:
+                ctx.qset = hash(ctx.vm_tuple) % n_qsets
+                self._by_vm_tuple[ctx.vm_tuple] = ctx
+            else:
+                ctx.qset = ctx.qset % n_qsets
+            self._by_nsm_id[ctx.nsm_sock_id] = ctx
+        # Pass 3: resume — callbacks back on, blackout backlog flushed.
+        for record in records:
+            self._resume_context(record["ctx"])
+        return len(records)
+
+    def _resume_context(self, ctx: _SocketContext) -> None:
+        sock = ctx.stack_sock
+        pending = ctx.connect_token
+        if pending is not None:
+            # A CONNECT was in flight across the blackout: re-arm its
+            # resolution here, and resolve immediately if the handshake
+            # finished (or died) while callbacks were quiesced.
+            self._install_callbacks(ctx)
+            finish = self._arm_connect_resolution(ctx, pending, ctx.qset)
+            if getattr(sock, "established", False):
+                finish(None)
+            elif getattr(getattr(sock, "state", None), "value",
+                         None) == "closed":
+                finish("ECONNRESET")
+            return
+        self._install_callbacks(ctx)
+        if ctx.is_listener:
+            if ctx.vm_tuple is not None:
+                self._drain_accepts(ctx)
+            return
+        if ctx.vm_tuple is not None:
+            self._flush_tx(ctx)
+            self._pump_rx(ctx)
+            if getattr(getattr(sock, "state", None), "value",
+                       None) == "closed" and not ctx.peer_closed_sent:
+                # Reset/timeout landed during the blackout with on_error
+                # quiesced: surface it now.
+                self._emit_error(ctx, "ECONNRESET")
 
     # -- introspection -----------------------------------------------------------------------
 

@@ -54,6 +54,8 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-double-stack": _lazy("ablations", "run_double_stack"),
     # Robustness (§8): NSM failure detection + connection failover.
     "fig-failover": _lazy("fig_failover"),
+    # Live migration (§8): zero-reset stack upgrade between NSMs.
+    "fig-migration": _lazy("fig_migration"),
 }
 
 

@@ -181,5 +181,14 @@ class SpscRing:
             return None
         return self._slots[self._head]
 
+    def snapshot(self) -> List[Any]:
+        """All queued items, oldest first, without consuming anything.
+
+        Inspection only (migration quiescence checks, tests): bypasses the
+        ownership discipline because it moves no cursor and mutates no slot.
+        """
+        return [self._slots[(self._head + i) % self.capacity]
+                for i in range(self._count)]
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<SpscRing {self.name} {self._count}/{self.capacity}>"

@@ -82,6 +82,15 @@ class Observability:
         self.registry.counter("failover.quarantines").inc()
         self.registry.counter("failover.vms_moved").inc(vms_moved)
 
+    def on_migration(self, vm_id: int, source_nsm: int, target_nsm: int,
+                     blackout_sec: float, sockets_moved: int,
+                     parked_ops: int) -> None:
+        """A live migration completed: record its blackout and volume."""
+        self.registry.counter("migration.completed").inc()
+        self.registry.counter("migration.sockets_moved").inc(sockets_moved)
+        self.registry.counter("migration.parked_ops").inc(parked_ops)
+        self.registry.histogram("migration.blackout_sec").record(blackout_sec)
+
     def on_op_timeout(self, op) -> None:
         self.registry.counter("guestlib.op_timeouts",
                               op=getattr(op, "name", str(op))).inc()
@@ -193,6 +202,20 @@ class Observability:
                 failover[key] = failover.get(key, 0) + counter.value
         if failover:
             report["failover"] = failover
+        migration = {}
+        for counter in self.registry.counters_named("migration."):
+            migration[counter.name] = counter.value
+        for hist in self.registry.histograms_named("migration."):
+            snap = hist.snapshot()
+            migration[hist.name] = {
+                "count": snap["count"],
+                "p50": snap["p50"],
+                "p99": snap["p99"],
+                "max": snap["max"],
+                "mean": snap["mean"],
+            }
+        if migration:
+            report["migration"] = migration
         if self._host is not None:
             report["coreengine"] = self._host.coreengine.stats()
         return report

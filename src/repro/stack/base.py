@@ -15,7 +15,7 @@ from repro.cpu.core import Core
 from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.errors import ConfigurationError
 from repro.stack.tcp.engine import CcFactory, TcpConnection, TcpEngine
-from repro.stack.tcp.tcb import Address
+from repro.stack.tcp.tcb import Address, tcb_manifest
 from repro.stack.udp import UdpLayer, UdpSocket
 
 
@@ -110,6 +110,22 @@ class NetworkStack:
 
     def abort(self, sock: TcpConnection) -> None:
         self.engine.abort(sock)
+
+    # -- live migration ----------------------------------------------------------
+
+    def supports_migration(self) -> bool:
+        """Engine-backed stacks can export/import live TCBs."""
+        return isinstance(getattr(self, "engine", None), TcpEngine)
+
+    def migrate_socket(self, sock: TcpConnection, target_stack) -> dict:
+        """Move one live socket to ``target_stack``'s engine.
+
+        Returns the socket's TCB manifest (the serialized view of what
+        travelled) for observability and verification.
+        """
+        manifest = tcb_manifest(sock)
+        self.engine.migrate_connection(sock, target_stack.engine)
+        return manifest
 
     # -- UDP (SOCK_DGRAM, Table 1) -----------------------------------------------
 

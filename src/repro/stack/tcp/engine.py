@@ -46,6 +46,10 @@ class TcpConnection:
         self.conn_id = next(_conn_ids)
         self.state = TcpState.CLOSED
         self.local_port: Optional[int] = None
+        #: Fabric address this endpoint answers to.  Stays None (meaning
+        #: "the owning engine's host id") until live migration pins it, so
+        #: a migrated connection keeps emitting from its original address.
+        self.local_host: Optional[str] = None
         self.remote: Optional[Address] = None
 
         self.send_buf = SendBuffer(engine.send_buf_bytes)
@@ -97,7 +101,7 @@ class TcpConnection:
 
     @property
     def local_addr(self) -> Address:
-        return (self.engine.host_id, self.local_port or 0)
+        return (self.local_host or self.engine.host_id, self.local_port or 0)
 
     @property
     def established(self) -> bool:
@@ -171,9 +175,16 @@ class TcpEngine:
         self._next_port = EPHEMERAL_BASE
         self._isn = 1000  # deterministic initial sequence numbers
 
+        # Live-migration forwarding: packets for a connection (or listener
+        # port) that moved to another engine are handed to that engine, so
+        # the fabric address stays valid across the move (no RST storms).
+        self._forwards: Dict[Tuple[int, Address], "TcpEngine"] = {}
+        self._port_forwards: Dict[int, "TcpEngine"] = {}
+
         # Statistics.
         self.segments_sent = 0
         self.segments_received = 0
+        self.segments_forwarded = 0
         self.resets_sent = 0
 
         if register_endpoint:
@@ -305,9 +316,21 @@ class TcpEngine:
             self._handle_for_conn(conn, packet, segment)
             return
 
+        target = self._forwards.get(key)
+        if target is not None:
+            self.segments_forwarded += 1
+            target.handle_packet(packet)
+            return
+
         listener = self._listeners.get(local_port)
         if listener is not None and segment.syn and not segment.is_ack:
             self._handle_syn(listener, packet, segment)
+            return
+
+        target = self._port_forwards.get(local_port)
+        if target is not None:
+            self.segments_forwarded += 1
+            target.handle_packet(packet)
             return
 
         # No socket: refuse politely (RST) unless this is itself an RST.
@@ -324,6 +347,7 @@ class TcpEngine:
             return  # backlog full: drop the SYN; client will retry on RTO
         child = self.socket()
         child.local_port = listener.local_port
+        child.local_host = listener.local_host
         child.remote = packet.src
         key = (child.local_port, child.remote)
         if key in self._conns:
@@ -615,6 +639,8 @@ class TcpEngine:
         conn._persist_armed = True
 
         def probe() -> None:
+            if conn.engine is not self:
+                return  # conn migrated away; the new engine owns the timer
             conn._persist_armed = False
             if (conn.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
                     and conn.rwnd == 0 and len(conn.send_buf) > 0):
@@ -665,6 +691,11 @@ class TcpEngine:
         self._destroy(conn)
 
     def _destroy(self, conn: TcpConnection) -> None:
+        if conn.engine is not self:
+            # A timer armed before migration fired on the old engine
+            # (e.g. TIME_WAIT's 2MSL destroy): tear down where it lives.
+            conn.engine._destroy(conn)
+            return
         if conn.state == TcpState.CLOSED:
             return
         conn.state = TcpState.CLOSED
@@ -693,7 +724,8 @@ class TcpEngine:
             raise NotConnectedError("emit without remote")
         segment.ts = self.sim.now
         wants_ecn = getattr(conn.cc, "wants_ecn", conn.cc.name == "dctcp")
-        packet = Packet(src=(self.host_id, conn.local_port or 0),
+        packet = Packet(src=(conn.local_host or self.host_id,
+                             conn.local_port or 0),
                         dst=conn.remote, payload_bytes=len(segment.payload),
                         segment=segment, ecn_capable=wants_ecn)
         self.segments_sent += 1
@@ -726,6 +758,80 @@ class TcpEngine:
 
     def _rx_cycles(self, payload: int) -> float:
         return self._rx_cycles_fn(payload) if self._rx_cycles_fn else 0.0
+
+    # -- live migration -----------------------------------------------------------------
+
+    def migrate_connection(self, conn: TcpConnection,
+                           target: "TcpEngine") -> None:
+        """Move one endpoint (and, for a listener, its whole port) to
+        ``target``, leaving a forward behind so in-flight packets and
+        future SYNs still reach it.
+
+        The connection object itself travels — sequence space, congestion
+        window, RTT estimate, buffered bytes all move untouched.  Timers
+        armed on this engine are cancelled and re-armed on the target.
+        """
+        if target is self:
+            raise ConfigurationError("cannot migrate a connection onto "
+                                     "its own engine")
+        if conn.local_host is None:
+            # Pin the fabric address before the move so peers keep a
+            # stable destination regardless of which engine owns us.
+            conn.local_host = self.host_id
+
+        if conn.state == TcpState.LISTEN:
+            port = conn.local_port
+            if self._listeners.get(port) is not conn:
+                raise ConfigurationError(
+                    f"listener on port {port} is not owned by this engine")
+            if port in target._listeners:
+                raise AddressInUseError(
+                    f"target engine already listens on port {port}")
+            del self._listeners[port]
+            target._listeners[port] = conn
+            conn.engine = target
+            self._port_forwards[port] = target
+            # Children (established, handshaking, accept-queued) share the
+            # listener's port; move every one of them with it.
+            for key, child in sorted(self._conns.items()):
+                if key[0] == port:
+                    self._move_conn(child, target)
+            return
+
+        self._move_conn(conn, target)
+
+    def _move_conn(self, conn: TcpConnection, target: "TcpEngine") -> None:
+        key = (conn.local_port, conn.remote)
+        if target._conns.get(key) is conn:
+            return  # already moved (listener bulk-move got here first)
+        if conn.state == TcpState.CLOSED:
+            # Destroyed while quiesced (peer RST / timeout): nothing lives
+            # in the connection maps, just hand over object ownership.
+            conn.engine = target
+            return
+        if self._conns.get(key) is not conn:
+            raise ConfigurationError(f"connection {key} is not owned by "
+                                     "this engine")
+        if key in target._conns:
+            raise AddressInUseError(f"4-tuple in use on target: {key}")
+        if conn.local_host is None:
+            conn.local_host = self.host_id
+        persist_was_armed = conn._persist_armed
+        conn._persist_armed = False
+        self._cancel_rtx(conn)
+        del self._conns[key]
+        conn.engine = target
+        target._conns[key] = conn
+        self._forwards[key] = target
+        # Keep the target's ephemeral allocator clear of imported ports.
+        if (conn.local_port is not None
+                and conn.local_port >= target._next_port):
+            target._next_port = conn.local_port + 1
+        if conn.inflight > 0 and conn.state not in (TcpState.CLOSED,
+                                                    TcpState.TIME_WAIT):
+            target._arm_rtx(conn, reset_timer=True)
+        elif persist_was_armed:
+            target._arm_persist(conn)
 
     # -- introspection ------------------------------------------------------------------
 

@@ -48,8 +48,9 @@ class TestRegistry:
         assert expected <= set(REGISTRY)
         extras = set(REGISTRY) - expected
         # Beyond the paper's own figures/tables we register ablations and
-        # the §8 robustness experiment (NSM failover).
-        assert all(x.startswith("ablation-") or x == "fig-failover"
+        # the §8 robustness experiments (NSM failover, live migration).
+        assert all(x.startswith("ablation-")
+                   or x in ("fig-failover", "fig-migration")
                    for x in extras)
 
     def test_unknown_id_raises(self):
