@@ -33,6 +33,14 @@ migrate
     NSMs mid-traffic, with ops parked (not failed) during the blackout.
     ``--verify`` runs twice and fails unless bit-identical, leak-free,
     and zero-reset — the same check the migration-smoke CI job runs.
+autoscale
+    Run the NSM autoscaling workload (``repro.experiments.fig_autoscale``)
+    on a sharded CoreEngine: the AG-trace aggregate drives NSM
+    spawn/retire/rebalance through the serialized job queue, with echo
+    traffic live across every migration.  ``--chaos`` crashes the
+    busiest autoscaler-spawned NSM mid-rebalance.  Fails on any leaked
+    forward, pool imbalance, or VM-on-inactive-NSM assignment — the
+    same check the autoscale-smoke CI job runs.
 """
 
 from __future__ import annotations
@@ -81,6 +89,7 @@ TITLES = {
     "ablation-double-stack": "Ablation: stack-on-hypervisor alternative",
     "fig-failover": "Recovery time vs failure-detection timeout",
     "fig-migration": "Migration downtime vs live-connection count",
+    "fig-autoscale": "NSM autoscaling on the AG-trace load signal",
 }
 
 
@@ -344,6 +353,50 @@ def _cmd_migrate(seed: int, streams: int, duration: float,
     return exit_code
 
 
+def _cmd_autoscale(seed: int, ticks: int, shards: int, chaos: bool,
+                   as_json: bool) -> int:
+    from repro.experiments.fig_autoscale import run_autoscale_scenario
+
+    result = run_autoscale_scenario(seed=seed, ticks=ticks,
+                                    ce_shards=shards, chaos=chaos)
+    if as_json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        counters = result["autoscaler"]["counters"]
+        workload = result["workload"]
+        print(f"seed={seed} ticks={ticks} shards={shards} chaos={chaos}")
+        print(f"  rtts={workload['rtts']} "
+              f"client_errors={workload['client_errors']} "
+              f"handoffs={result['handoffs']}")
+        print(f"  spawned={counters['spawned']} "
+              f"retired={counters['retired']} "
+              f"migrations={counters['migrations']} "
+              f"migration_failures={counters['migration_failures']}")
+        print(f"  leaked_forwards={result['forward_leaks']} "
+              f"live_forward_entries={result['forward_entries']} "
+              f"pool_delta={result['pool_delta']}")
+    exit_code = 0
+    for violation in result["violations"]:
+        print(f"ASSIGNMENT VIOLATION: {violation}", file=sys.stderr)
+        exit_code = 1
+    if result["forward_leaks"]:
+        print(f"FORWARD LEAK: {result['forward_leaks']} dangling "
+              "forwarding entries", file=sys.stderr)
+        exit_code = 1
+    if result["pool_delta"]:
+        print(f"POOL IMBALANCE: NQE pool outstanding delta "
+              f"{result['pool_delta']}", file=sys.stderr)
+        exit_code = 1
+    if not chaos and result["forward_entries"]:
+        print(f"FORWARD ENTRIES after clean shutdown: "
+              f"{result['forward_entries']}", file=sys.stderr)
+        exit_code = 1
+    if exit_code == 0:
+        print("autoscale OK: no leaks, pool balanced, "
+              "no inactive assignments")
+    return exit_code
+
+
 def _cmd_calibration() -> int:
     from repro.cpu.cost_model import DEFAULT_COST_MODEL
 
@@ -418,6 +471,20 @@ def main(argv: List[str] = None) -> int:
     migrate_parser.add_argument("--verify", action="store_true",
                                 help="run twice; fail unless bit-identical, "
                                      "zero-reset, and leak-free")
+    autoscale_parser = sub.add_parser(
+        "autoscale", help="run the NSM autoscaling workload")
+    autoscale_parser.add_argument("--seed", type=int, default=0,
+                                  help="AG-trace seed (default 0)")
+    autoscale_parser.add_argument("--ticks", type=int, default=14,
+                                  help="autoscaler ticks / trace minutes "
+                                       "(default 14)")
+    autoscale_parser.add_argument("--shards", type=int, default=2,
+                                  help="CoreEngine shards (default 2)")
+    autoscale_parser.add_argument("--chaos", action="store_true",
+                                  help="crash the busiest managed NSM "
+                                       "mid-rebalance")
+    autoscale_parser.add_argument("--json", action="store_true",
+                                  help="emit the full result as JSON")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -437,6 +504,9 @@ def main(argv: List[str] = None) -> int:
     if args.command == "migrate":
         return _cmd_migrate(args.seed, args.streams, args.duration,
                             args.json, args.verify)
+    if args.command == "autoscale":
+        return _cmd_autoscale(args.seed, args.ticks, args.shards,
+                              args.chaos, args.json)
     return 1
 
 

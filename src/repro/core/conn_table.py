@@ -121,6 +121,12 @@ class ConnectionTable:
             rebound += 1
         return rebound
 
+    def vms_for_nsm(self, nsm_id: int):
+        """Sorted ids of VMs with at least one live entry on this NSM
+        (the autoscaler's drain list when retiring an NSM)."""
+        return sorted({e.vm_tuple[0] for e in self._by_vm.values()
+                       if e.nsm_id == nsm_id})
+
     def nsm_loads(self) -> Dict[int, int]:
         """Live connection count per NSM id (the load-balancing signal)."""
         loads: Dict[int, int] = {}

@@ -120,10 +120,10 @@ _TOKENED_REQUESTS = frozenset((
 
 class _Registration:
     __slots__ = ("numeric_id", "device", "key", "state", "birth_pass",
-                 "active", "parked")
+                 "active", "parked", "engine")
 
     def __init__(self, numeric_id: int, device: NKDevice,
-                 key: Tuple[int, int], birth_pass: int):
+                 key: Tuple[int, int], birth_pass: int, engine=None):
         self.numeric_id = numeric_id
         self.device = device
         #: (role rank, numeric id): the full scan's visiting order, used
@@ -137,6 +137,9 @@ class _Registration:
         #: Live migration: a parked device's produced NQEs wait in its
         #: rings (ops park, they do not fail) until the move completes.
         self.parked = False
+        #: The switch servicing this device — its home shard when the
+        #: switch is sharded (repro.core.sharding), else the sole engine.
+        self.engine = engine
 
 
 class CoreEngine:
@@ -263,6 +266,12 @@ class CoreEngine:
                   hugepages: Optional[HugepageRegion],
                   poll_window_sec: Optional[float]) -> Tuple[int, NKDevice]:
         numeric_id = next(self._ids)
+        # A recycled numeric id must not inherit the previous owner's
+        # health verdict: a stale _last_ack would let the monitor
+        # insta-quarantine a fresh NSM, and a stale quarantined entry
+        # would misreport it as dead.
+        self._last_ack.pop(numeric_id, None)
+        self.quarantined.pop(numeric_id, None)
         hugepages = hugepages or HugepageRegion(name=f"{owner_id}.hp")
         kwargs = {}
         if poll_window_sec is not None:
@@ -273,7 +282,8 @@ class CoreEngine:
         self.core.charge(self.cost.ce_device_setup, "ce.device_setup")
         registry = self._vms if role == ROLE_VM else self._nsms
         key = (0 if role == ROLE_VM else 1, numeric_id)
-        reg = _Registration(numeric_id, device, key, self._pass_counter)
+        reg = _Registration(numeric_id, device, key, self._pass_counter,
+                            engine=self)
         registry[numeric_id] = reg
         device.ce_registration = reg
         if role == ROLE_VM:
@@ -304,6 +314,10 @@ class CoreEngine:
         if reg is None:
             return
         reg.active = False
+        # Per-NSM health state dies with the registration; leaving it
+        # would poison a later registration that recycles this id.
+        self._last_ack.pop(numeric_id, None)
+        self.quarantined.pop(numeric_id, None)
         self._reclaim_device(reg, fail_fast=True)
         for entry in self.table.entries_for_nsm(numeric_id):
             vm_id, vm_qset, vm_sock = entry.vm_tuple
@@ -320,31 +334,45 @@ class CoreEngine:
 
     def assign_vm(self, vm_id: int, nsm_id: int) -> None:
         """Bind a VM to the NSM that will serve it (user choice or LB)."""
-        if vm_id not in self._vms:
+        if self._vm_registration(vm_id) is None:
             raise ConfigurationError(f"unknown VM id {vm_id}")
-        if nsm_id not in self._nsms:
+        if self._nsm_registration(nsm_id) is None:
             raise ConfigurationError(f"unknown NSM id {nsm_id}")
         self.vm_to_nsm[vm_id] = nsm_id
         self._orphaned_vms.discard(vm_id)
 
     def assign_vm_auto(self, vm_id: int) -> int:
-        """Assign a VM to the least-loaded NSM and return its id.
+        """Assign a VM to the least-loaded *active* NSM and return its id.
 
         The paper leaves the VM→NSM mapping to "the users offline or some
         load balancing scheme dynamically by CoreEngine" (§4.3 fn. 1);
         this is the dynamic option, balancing by live connection count.
+        Quarantined and deregistered NSMs are never candidates — a
+        just-quarantined NSM has zero table entries and would otherwise
+        always look least-loaded.
         """
-        if vm_id not in self._vms:
+        if self._vm_registration(vm_id) is None:
             raise ConfigurationError(f"unknown VM id {vm_id}")
-        if not self._nsms:
-            raise ConfigurationError("no NSM registered")
-        table_loads = self.table.nsm_loads()
-        loads = {nsm_id: table_loads.get(nsm_id, 0)
-                 for nsm_id in self._nsms}
-        nsm_id = min(sorted(loads), key=loads.get)
+        nsm_id = self._least_loaded_nsm()
+        if nsm_id is None:
+            raise ConfigurationError("no active NSM registered")
         self.vm_to_nsm[vm_id] = nsm_id
         self._orphaned_vms.discard(vm_id)
         return nsm_id
+
+    def _active_nsm_ids(self, exclude: Optional[int] = None) -> List[int]:
+        """Ids of in-service NSMs (cluster-wide when sharded) — the one
+        candidate list both assign_vm_auto and _pick_standby draw from."""
+        return [nid for nid, reg in self._nsms.items()
+                if reg.active and nid != exclude]
+
+    def _least_loaded_nsm(self, exclude: Optional[int] = None) -> Optional[int]:
+        """The active NSM with the fewest live connections, or None."""
+        candidates = self._active_nsm_ids(exclude)
+        if not candidates:
+            return None
+        loads = self.table.nsm_loads()
+        return min(sorted(candidates), key=lambda nid: loads.get(nid, 0))
 
     # -- NSM health & failover (§8) ------------------------------------------
 
@@ -415,6 +443,7 @@ class CoreEngine:
             return []
         reg.active = False
         self.quarantined[nsm_id] = reason
+        self._last_ack.pop(nsm_id, None)
         self.nsms_quarantined += 1
         self.core.charge(self.cost.ce_device_setup, "ce.quarantine")
         self._reclaim_device(reg, fail_fast=True)
@@ -474,7 +503,7 @@ class CoreEngine:
         propagates, so a botched migration degrades to PR 3's failover
         path instead of wedging the guest.
         """
-        vm_reg = self._vms.get(vm_id)
+        vm_reg = self._vm_registration(vm_id)
         if vm_reg is None or not vm_reg.active:
             raise ConfigurationError(f"unknown or inactive VM id {vm_id}")
         if vm_reg.parked:
@@ -485,11 +514,11 @@ class CoreEngine:
         if source_nsm_id == target_nsm_id:
             raise ConfigurationError(
                 f"VM {vm_id} is already served by NSM {target_nsm_id}")
-        target_reg = self._nsms.get(target_nsm_id)
+        target_reg = self._nsm_registration(target_nsm_id)
         if target_reg is None or not target_reg.active:
             raise ConfigurationError(
                 f"target NSM {target_nsm_id} is not active")
-        source_reg = self._nsms.get(source_nsm_id)
+        source_reg = self._nsm_registration(source_nsm_id)
         if source_reg is None or not source_reg.active:
             raise ConfigurationError(
                 f"source NSM {source_nsm_id} is not active")
@@ -604,12 +633,7 @@ class CoreEngine:
     def _pick_standby(self, exclude: int) -> Optional[int]:
         """The least-loaded active NSM other than ``exclude`` (the same
         live-connection-count signal assign_vm_auto balances on)."""
-        candidates = [nid for nid, reg in self._nsms.items()
-                      if reg.active and nid != exclude]
-        if not candidates:
-            return None
-        loads = self.table.nsm_loads()
-        return min(sorted(candidates), key=lambda nid: loads.get(nid, 0))
+        return self._least_loaded_nsm(exclude=exclude)
 
     def _reclaim_device(self, reg: _Registration, fail_fast: bool) -> None:
         """Drain every ring of a departed device.  SPSC claims are
@@ -678,7 +702,7 @@ class CoreEngine:
         (failover paths only — the normal datapath goes through _deliver).
         A full ring here drops the element rather than blocking the
         caller; the VM's pollers are live, so this is a last resort."""
-        vm_reg = self._vms.get(nqe.vm_id)
+        vm_reg = self._vm_registration(nqe.vm_id)
         if vm_reg is None or not vm_reg.active:
             self._drop_nqe(nqe)
             return
@@ -725,6 +749,25 @@ class CoreEngine:
     def vm_device(self, vm_id: int) -> NKDevice:
         """The NK device registered for a VM id."""
         return self._vms[vm_id].device
+
+    # -- registration lookup (sharding override points) ----------------------
+
+    def _vm_registration(self, vm_id: int) -> Optional[_Registration]:
+        """The registration for ``vm_id``, wherever it is homed.  A shard
+        engine overrides this to consult the cluster directory."""
+        return self._vms.get(vm_id)
+
+    def _nsm_registration(self, nsm_id: int) -> Optional[_Registration]:
+        """The registration for ``nsm_id``, wherever it is homed."""
+        return self._nsms.get(nsm_id)
+
+    def _pre_pass(self):
+        """Hook run at the top of every switching pass, identically in
+        both scan modes (so scan-mode bit-identity is preserved).  The
+        base switch has nothing to do; a shard engine drains its inbound
+        cross-shard handoff queue here."""
+        return
+        yield  # pragma: no cover — makes this a generator
 
     # ----------------------------------------------------------------- loop --
 
@@ -780,6 +823,7 @@ class CoreEngine:
             # scanned (lost-doorbell race).
             doorbell = self._doorbell
             self._pass_counter += 1
+            yield from self._pre_pass()
             progressed = False
             stall: Optional[float] = None
             for registry in (self._vms, self._nsms):
@@ -822,6 +866,7 @@ class CoreEngine:
         while self._running:
             doorbell = self._doorbell
             self._pass_counter += 1
+            yield from self._pre_pass()
             self._in_pass = True
             progressed = False
             stall: Optional[float] = None
@@ -965,7 +1010,7 @@ class CoreEngine:
                     return
                 raise ConfigurationError(
                     f"VM {reg.numeric_id} has no NSM assigned")
-            nsm_reg = self._nsms.get(nsm_id)
+            nsm_reg = self._nsm_registration(nsm_id)
             if nsm_reg is None or not nsm_reg.active:
                 # Assigned NSM is dead and no standby took over: fail
                 # fast rather than queueing toward a corpse.
@@ -977,7 +1022,7 @@ class CoreEngine:
             if nqe.op == NqeOp.ACCEPT_ATTACH:
                 # The NSM socket already exists; complete the entry now.
                 self.table.complete(vm_tuple, nqe.op_data)
-        nsm_reg = self._nsms.get(entry.nsm_id)
+        nsm_reg = self._nsm_registration(entry.nsm_id)
         if nsm_reg is None or not nsm_reg.active:
             # The serving NSM died between insert and this switch.
             self.table.remove_vm(vm_tuple)
@@ -997,7 +1042,7 @@ class CoreEngine:
             NQE_POOL.release(nqe)
             return
         vm_tuple = nqe.vm_tuple
-        vm_reg = self._vms.get(nqe.vm_id)
+        vm_reg = self._vm_registration(nqe.vm_id)
         if vm_reg is None:
             self._drop_nqe(nqe)  # VM shut down
             return

@@ -41,18 +41,38 @@ class NetKernelHost:
     def __init__(self, sim, network: Optional[Network] = None,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
                  ce_batch_size: int = 4, name: str = "host",
-                 ce_scan: Optional[str] = None):
+                 ce_scan: Optional[str] = None, ce_shards: int = 1):
+        if ce_shards < 1:
+            raise ConfigurationError(
+                f"ce_shards must be >=1: {ce_shards}")
         self.sim = sim
         self.name = name
         self.cost = cost_model
         self.network = network if network is not None else Network(sim)
-        self.ce_core = Core(sim, name=f"{name}.ce", hz=cost_model.core_hz)
-        self.coreengine = CoreEngine(sim, self.ce_core, cost_model,
-                                     batch_size=ce_batch_size, scan=ce_scan)
+        if ce_shards == 1:
+            self.ce_cores = [Core(sim, name=f"{name}.ce",
+                                  hz=cost_model.core_hz)]
+            self.coreengine = CoreEngine(sim, self.ce_cores[0], cost_model,
+                                         batch_size=ce_batch_size,
+                                         scan=ce_scan)
+        else:
+            from repro.core.sharding import ShardedCoreEngine
+
+            self.ce_cores = [Core(sim, name=f"{name}.ce{i}",
+                                  hz=cost_model.core_hz)
+                             for i in range(ce_shards)]
+            self.coreengine = ShardedCoreEngine(
+                sim, self.ce_cores, cost_model,
+                batch_size=ce_batch_size, scan=ce_scan)
+        #: Kept as an alias for the single-switch layout; accounting
+        #: sums over ce_cores so sharded hosts attribute every shard.
+        self.ce_core = self.ce_cores[0]
         self.vms: Dict[str, GuestVM] = {}
         self.nsms: Dict[str, NetworkStackModule] = {}
         #: Observability (repro.obs); None = tracing disabled (default).
         self.obs = None
+        #: NSM autoscaler (repro.core.autoscaler); None until enabled.
+        self.autoscaler = None
 
     def enable_observability(self, sample_interval: Optional[float] = None):
         """Switch on the repro.obs datapath tracing/metrics layer.
@@ -234,6 +254,26 @@ class NetKernelHost:
         self.coreengine.deregister(vm.vm_id)
         self.vms.pop(vm.name, None)
 
+    def remove_nsm(self, nsm: NetworkStackModule) -> None:
+        """Retire an NSM: deregister its NK device and drop it from the
+        host registry (the autoscaler's scale-down path).  VMs still
+        assigned to it are orphaned or failed over by CoreEngine's
+        deregister logic; callers should drain first (migrate_vm)."""
+        self.coreengine.deregister(nsm.nsm_id)
+        self.nsms.pop(nsm.name, None)
+
+    def enable_autoscaler(self, load_signal, **kwargs):
+        """Attach an NSM autoscaler driven by ``load_signal`` (an AG
+        aggregate per-minute series, or any callable(tick)->float).
+        ``kwargs`` pass through to :class:`NsmAutoscaler`."""
+        from repro.core.autoscaler import NsmAutoscaler
+
+        if self.autoscaler is not None:
+            raise ConfigurationError("autoscaler already enabled")
+        self.autoscaler = NsmAutoscaler(self.sim, self, load_signal,
+                                        **kwargs)
+        return self.autoscaler
+
     def socket_api(self, vm: GuestVM):
         """The BSD socket facade applications in ``vm`` program against."""
         from repro.core.sockets import NetKernelSocketApi
@@ -247,5 +287,5 @@ class NetKernelHost:
         return {
             "vms": sum(vm.total_cycles() for vm in self.vms.values()),
             "nsms": sum(nsm.total_cycles() for nsm in self.nsms.values()),
-            "coreengine": self.ce_core.busy_cycles,
+            "coreengine": sum(core.busy_cycles for core in self.ce_cores),
         }

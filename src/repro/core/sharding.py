@@ -1,0 +1,434 @@
+"""Sharded CoreEngine: the NQE switch partitioned over N simulated cores.
+
+ROADMAP names the single CoreEngine as the scaling boundary: one
+switching loop serves every queue set on the host, so past a few
+thousand devices the switch itself is the bottleneck, not the NSMs.
+This module partitions the device population over per-shard switching
+loops — each shard is a full :class:`CoreEngine` (its own core, ready
+set, dirty heap, doorbell, health monitor) — while the *control plane*
+stays host-global: one ConnectionTable, one VM→NSM assignment map, one
+hugepage-region registry, one id space, shared by every shard.
+
+Cross-shard handoff
+-------------------
+
+Rings are strict SPSC (repro.mem.ring): each end is claimed by exactly
+one party, and for every device's consume rings that party is the
+device's *home shard*.  A shard switching an NQE whose destination
+device is homed elsewhere therefore cannot push it directly — it hands
+the (ring, NQE, device) triple to the destination shard's inbound queue
+and rings that shard's doorbell.  The destination drains its inbound
+queue in :meth:`CoreEngine._pre_pass`, at the top of its next switching
+pass, using the stock delivery path (fault hooks, backpressure budget
+and liveness checks all apply exactly once, on the destination side).
+
+Determinism
+-----------
+
+Each shard is itself a CoreEngine, so PR 2's ready-vs-full bit-identity
+invariants hold *per shard* unchanged (``_pre_pass`` runs identically in
+both scan loops).  When the partition is traffic-closed — every VM homed
+with its serving NSM, as the fig08_sharded bench arranges — a shard's
+simulated timeline is independent of every other shard's, and its
+counters are bit-identical to a standalone one-shard run of the same
+population.  The perf harness asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.coreengine import (CoreEngine, _Registration,
+                                   DEFAULT_SCAN_MODE, SCAN_MODES)
+from repro.core.nk_device import NKDevice
+from repro.cpu.core import Core
+from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.errors import ConfigurationError
+from repro.mem.hugepages import HugepageRegion
+
+
+class _ShardEngine(CoreEngine):
+    """One shard: a CoreEngine that shares its control plane with its
+    cluster and hands off NQEs bound for devices homed elsewhere."""
+
+    def __init__(self, sim, core: Core, shard_index: int,
+                 cluster: "ShardedCoreEngine", **kwargs):
+        self.shard_index = shard_index
+        self.cluster = cluster
+        #: Cross-shard handoff inbox: (ring, nqe, target_device) triples
+        #: pushed by peer shards, drained at the top of the next pass.
+        self._inbound = deque()
+        self.handoffs_in = 0
+        self.handoffs_out = 0
+        super().__init__(sim, core, **kwargs)
+
+    # -- cluster-wide lookups -------------------------------------------------
+
+    def _vm_registration(self, vm_id: int) -> Optional[_Registration]:
+        reg = self._vms.get(vm_id)
+        return reg if reg is not None else self.cluster._find_vm(vm_id)
+
+    def _nsm_registration(self, nsm_id: int) -> Optional[_Registration]:
+        reg = self._nsms.get(nsm_id)
+        return reg if reg is not None else self.cluster._find_nsm(nsm_id)
+
+    def _active_nsm_ids(self, exclude: Optional[int] = None) -> List[int]:
+        return self.cluster._active_nsm_ids(exclude)
+
+    # -- cross-shard handoff --------------------------------------------------
+
+    def _home_of(self, device: NKDevice) -> "CoreEngine":
+        reg = device.ce_registration
+        if reg is not None and reg.engine is not None:
+            return reg.engine
+        return self
+
+    def _deliver(self, ring, nqe, target_device: NKDevice):
+        home = self._home_of(target_device)
+        if home is not self:
+            self.handoffs_out += 1
+            home._inbound.append((ring, nqe, target_device))
+            home._kick_inbound()
+            return
+        yield from CoreEngine._deliver(self, ring, nqe, target_device)
+
+    def _pre_pass(self):
+        while self._inbound:
+            ring, nqe, device = self._inbound.popleft()
+            self.handoffs_in += 1
+            yield from CoreEngine._deliver(self, ring, nqe, device)
+
+    def _kick_inbound(self) -> None:
+        """Wake this shard's switching loop without marking any device
+        ready — the work sits in the inbound queue, not in a ring."""
+        if not self._doorbell.triggered:
+            self._doorbell.succeed()
+            self._doorbell = self.sim.event()
+
+    def _push_to_vm(self, nqe, event: bool) -> None:
+        # Failover/fail-fast deliveries are synchronous; route them to
+        # the VM's home shard so its ring producer identity is used.
+        reg = self._vm_registration(nqe.vm_id)
+        home = reg.engine if reg is not None and reg.engine is not None \
+            else self
+        if home is not self:
+            home._push_to_vm(nqe, event)
+        else:
+            CoreEngine._push_to_vm(self, nqe, event)
+
+    def stats(self) -> dict:
+        out = CoreEngine.stats(self)
+        out["handoffs_in"] = self.handoffs_in
+        out["handoffs_out"] = self.handoffs_out
+        return out
+
+
+#: Counters the facade sums over its shards on attribute access.
+_SUMMED_COUNTERS = frozenset({
+    "nqes_switched", "batches", "vms_migrated", "conns_migrated",
+    "migration_parked_ops", "rate_limited_stalls", "nqes_dropped",
+    "nqes_dropped_backpressure", "nqes_failed_fast", "heartbeats_sent",
+    "heartbeat_acks", "nsms_quarantined", "vms_failed_over",
+    "conns_reset_on_failover", "stale_wakeups", "handoffs_in",
+    "handoffs_out",
+})
+
+
+class ShardedCoreEngine:
+    """N CoreEngine shards behind the single-switch API.
+
+    Register/assign/migrate/deregister, health monitoring, isolation
+    limits, stats — everything NetKernelHost and the experiments call on
+    a CoreEngine works here unchanged.  Devices are placed round-robin
+    per role (or pinned with ``shard=``); the ConnectionTable, VM→NSM
+    map, id space, hugepage registry and failover listeners are shared
+    host-global objects, so placement never changes semantics, only
+    which core does the switching.
+    """
+
+    def __init__(self, sim, cores: List[Core],
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 batch_size: int = 4, ring_slots: int = 4096,
+                 scan: Optional[str] = None):
+        if not cores:
+            raise ConfigurationError("need at least one shard core")
+        scan = DEFAULT_SCAN_MODE if scan is None else scan
+        if scan not in SCAN_MODES:
+            raise ConfigurationError(
+                f"unknown scan mode {scan!r}; choose from {SCAN_MODES}")
+        self.sim = sim
+        self.scan = scan
+        self.batch_size = batch_size
+        self.shards: List[_ShardEngine] = [
+            _ShardEngine(sim, core, index, self, cost_model=cost_model,
+                         batch_size=batch_size, ring_slots=ring_slots,
+                         scan=scan)
+            for index, core in enumerate(cores)
+        ]
+        # Control plane: shard 0's objects become the host-global ones.
+        first = self.shards[0]
+        self.table = first.table
+        self.vm_to_nsm = first.vm_to_nsm
+        self.migrations = first.migrations
+        self.failover_listeners = first.failover_listeners
+        self._vm_regions = first._vm_regions
+        self._orphaned_vms = first._orphaned_vms
+        self._bw_limits = first._bw_limits
+        self._op_limits = first._op_limits
+        self._ids = first._ids
+        for shard in self.shards[1:]:
+            shard.table = self.table
+            shard.vm_to_nsm = self.vm_to_nsm
+            shard.migrations = self.migrations
+            shard.failover_listeners = self.failover_listeners
+            shard._vm_regions = self._vm_regions
+            shard._orphaned_vms = self._orphaned_vms
+            shard._bw_limits = self._bw_limits
+            shard._op_limits = self._op_limits
+            shard._ids = self._ids
+        # Home-shard directory (facade-registered devices only).
+        self._vm_home: Dict[int, _ShardEngine] = {}
+        self._nsm_home: Dict[int, _ShardEngine] = {}
+        self._rr_vm = itertools.count()
+        self._rr_nsm = itertools.count()
+
+    # -- placement ------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def _pick_shard(self, role_counter, shard: Optional[int]) -> _ShardEngine:
+        if shard is None:
+            return self.shards[next(role_counter) % len(self.shards)]
+        if not 0 <= shard < len(self.shards):
+            raise ConfigurationError(
+                f"shard {shard} out of range (0..{len(self.shards) - 1})")
+        return self.shards[shard]
+
+    def register_vm(self, owner_id: str, queue_sets: int,
+                    hugepages: Optional[HugepageRegion] = None,
+                    poll_window_sec: Optional[float] = None,
+                    shard: Optional[int] = None) -> Tuple[int, NKDevice]:
+        home = self._pick_shard(self._rr_vm, shard)
+        vm_id, device = home.register_vm(
+            owner_id, queue_sets, hugepages=hugepages,
+            poll_window_sec=poll_window_sec)
+        self._vm_home[vm_id] = home
+        return vm_id, device
+
+    def register_nsm(self, owner_id: str, queue_sets: int,
+                     hugepages: Optional[HugepageRegion] = None,
+                     poll_window_sec: Optional[float] = None,
+                     shard: Optional[int] = None) -> Tuple[int, NKDevice]:
+        home = self._pick_shard(self._rr_nsm, shard)
+        nsm_id, device = home.register_nsm(
+            owner_id, queue_sets, hugepages=hugepages,
+            poll_window_sec=poll_window_sec)
+        self._nsm_home[nsm_id] = home
+        return nsm_id, device
+
+    def deregister(self, numeric_id: int) -> None:
+        home = self._vm_home.pop(numeric_id, None)
+        if home is not None:
+            home.deregister(numeric_id)
+            return
+        home = self._nsm_home.pop(numeric_id, None)
+        if home is not None:
+            home.deregister(numeric_id)
+
+    def shard_of_vm(self, vm_id: int) -> int:
+        return self._vm_home[vm_id].shard_index
+
+    def shard_of_nsm(self, nsm_id: int) -> int:
+        return self._nsm_home[nsm_id].shard_index
+
+    # -- directory (shard engines call back into these) -----------------------
+
+    def _find_vm(self, vm_id: int) -> Optional[_Registration]:
+        home = self._vm_home.get(vm_id)
+        return home._vms.get(vm_id) if home is not None else None
+
+    def _find_nsm(self, nsm_id: int) -> Optional[_Registration]:
+        home = self._nsm_home.get(nsm_id)
+        return home._nsms.get(nsm_id) if home is not None else None
+
+    def _vm_registration(self, vm_id: int) -> Optional[_Registration]:
+        return self._find_vm(vm_id)
+
+    def _nsm_registration(self, nsm_id: int) -> Optional[_Registration]:
+        return self._find_nsm(nsm_id)
+
+    def _active_nsm_ids(self, exclude: Optional[int] = None) -> List[int]:
+        return [nid for nid, home in self._nsm_home.items()
+                if nid != exclude and nid in home._nsms
+                and home._nsms[nid].active]
+
+    def _least_loaded_nsm(self, exclude: Optional[int] = None) -> Optional[int]:
+        candidates = self._active_nsm_ids(exclude)
+        if not candidates:
+            return None
+        loads = self.table.nsm_loads()
+        return min(sorted(candidates), key=lambda nid: loads.get(nid, 0))
+
+    # -- assignment & migration ----------------------------------------------
+
+    def assign_vm(self, vm_id: int, nsm_id: int) -> None:
+        if self._find_vm(vm_id) is None:
+            raise ConfigurationError(f"unknown VM id {vm_id}")
+        if self._find_nsm(nsm_id) is None:
+            raise ConfigurationError(f"unknown NSM id {nsm_id}")
+        self.vm_to_nsm[vm_id] = nsm_id
+        self._orphaned_vms.discard(vm_id)
+
+    def assign_vm_auto(self, vm_id: int) -> int:
+        if self._find_vm(vm_id) is None:
+            raise ConfigurationError(f"unknown VM id {vm_id}")
+        nsm_id = self._least_loaded_nsm()
+        if nsm_id is None:
+            raise ConfigurationError("no active NSM registered")
+        self.vm_to_nsm[vm_id] = nsm_id
+        self._orphaned_vms.discard(vm_id)
+        return nsm_id
+
+    def migrate_vm(self, vm_id: int, target_nsm_id: int, source_lib,
+                   target_lib, **kwargs):
+        home = self._vm_home.get(vm_id)
+        if home is None:
+            raise ConfigurationError(f"unknown VM id {vm_id}")
+        # The home shard owns the VM's ring consumer end, so the drain
+        # and resume steps must run there.
+        return home.migrate_vm(vm_id, target_nsm_id, source_lib,
+                               target_lib, **kwargs)
+
+    def quarantine_nsm(self, nsm_id: int,
+                       reason: str = "failure-detected") -> List[int]:
+        home = self._nsm_home.get(nsm_id)
+        if home is None:
+            return []
+        return home.quarantine_nsm(nsm_id, reason=reason)
+
+    # -- health monitoring ----------------------------------------------------
+
+    def enable_health_monitor(self, heartbeat_interval: float = 1e-3,
+                              detection_timeout: float = 5e-3) -> None:
+        for shard in self.shards:
+            shard.enable_health_monitor(
+                heartbeat_interval=heartbeat_interval,
+                detection_timeout=detection_timeout)
+
+    def disable_health_monitor(self) -> None:
+        for shard in self.shards:
+            shard.disable_health_monitor()
+
+    @property
+    def quarantined(self) -> Dict[int, str]:
+        merged: Dict[int, str] = {}
+        for shard in self.shards:
+            merged.update(shard.quarantined)
+        return merged
+
+    # -- devices & isolation ---------------------------------------------------
+
+    def vm_device(self, vm_id: int) -> NKDevice:
+        return self._vm_home[vm_id]._vms[vm_id].device
+
+    def nsm_device(self, nsm_id: int) -> NKDevice:
+        return self._nsm_home[nsm_id]._nsms[nsm_id].device
+
+    def set_bandwidth_limit(self, vm_id: int, bits_per_sec: float,
+                            burst_bits: Optional[float] = None) -> None:
+        self.shards[0].set_bandwidth_limit(vm_id, bits_per_sec,
+                                           burst_bits=burst_bits)
+
+    def clear_bandwidth_limit(self, vm_id: int) -> None:
+        self.shards[0].clear_bandwidth_limit(vm_id)
+
+    def set_ops_limit(self, vm_id: int, nqes_per_sec: float) -> None:
+        self.shards[0].set_ops_limit(vm_id, nqes_per_sec)
+
+    def isolation_state(self) -> dict:
+        return self.shards[0].isolation_state()
+
+    # -- loop control ----------------------------------------------------------
+
+    def kick(self, device: Optional[NKDevice] = None) -> None:
+        if device is not None:
+            reg = device.ce_registration
+            engine = reg.engine if reg is not None and reg.engine is not None \
+                else self.shards[0]
+            engine.kick(device)
+            return
+        for shard in self.shards:
+            shard.kick(None)
+
+    def stop(self) -> None:
+        for shard in self.shards:
+            shard.stop()
+
+    # -- shared/propagated attributes ------------------------------------------
+
+    @property
+    def obs(self):
+        return self.shards[0].obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        for shard in self.shards:
+            shard.obs = value
+
+    @property
+    def faults(self):
+        return self.shards[0].faults
+
+    @faults.setter
+    def faults(self, value) -> None:
+        for shard in self.shards:
+            shard.faults = value
+
+    @property
+    def deliver_stall_budget(self) -> float:
+        return self.shards[0].deliver_stall_budget
+
+    @deliver_stall_budget.setter
+    def deliver_stall_budget(self, value: float) -> None:
+        for shard in self.shards:
+            shard.deliver_stall_budget = value
+
+    @property
+    def ring_slots(self) -> int:
+        return self.shards[0].ring_slots
+
+    @ring_slots.setter
+    def ring_slots(self, value: int) -> None:
+        for shard in self.shards:
+            shard.ring_slots = value
+
+    def __getattr__(self, name: str):
+        if name in _SUMMED_COUNTERS:
+            shards = self.__dict__.get("shards") or ()
+            return sum(getattr(shard, name) for shard in shards)
+        raise AttributeError(
+            f"{type(self).__name__!s} has no attribute {name!r}")
+
+    # -- introspection ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        per_shard = [shard.stats() for shard in self.shards]
+        out: Dict[str, object] = {
+            "shards": len(self.shards),
+            "sched.mode": self.scan,
+            "connections": len(self.table),
+        }
+        numeric = [k for k in per_shard[0]
+                   if isinstance(per_shard[0][k], (int, float))
+                   and k not in ("avg_batch", "connections")]
+        for key in numeric:
+            out[key] = sum(stats[key] for stats in per_shard)
+        out["avg_batch"] = (out["nqes_switched"] / out["batches"]
+                            if out.get("batches") else 0.0)
+        for index, stats in enumerate(per_shard):
+            out[f"shard.{index}"] = stats
+        return out

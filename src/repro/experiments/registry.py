@@ -56,6 +56,8 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "fig-failover": _lazy("fig_failover"),
     # Live migration (§8): zero-reset stack upgrade between NSMs.
     "fig-migration": _lazy("fig_migration"),
+    # Elastic NSM fleet on the AG-trace load signal (§7.3 follow-on).
+    "fig-autoscale": _lazy("fig_autoscale"),
 }
 
 

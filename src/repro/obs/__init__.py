@@ -91,6 +91,10 @@ class Observability:
         self.registry.counter("migration.parked_ops").inc(parked_ops)
         self.registry.histogram("migration.blackout_sec").record(blackout_sec)
 
+    def on_autoscale(self, action: str, detail: str = "") -> None:
+        """An autoscaler job completed (spawn / retire / migrate)."""
+        self.registry.counter(f"autoscale.{action}").inc()
+
     def on_op_timeout(self, op) -> None:
         self.registry.counter("guestlib.op_timeouts",
                               op=getattr(op, "name", str(op))).inc()
@@ -108,7 +112,8 @@ class Observability:
         self._host = host
         host.obs = self
         host.coreengine.obs = self
-        self.accountant.register("ce", [host.ce_core])
+        self.accountant.register("ce", getattr(host, "ce_cores", None)
+                                 or [host.ce_core])
         for vm in host.vms.values():
             self.attach_vm(vm)
         for nsm in host.nsms.values():
@@ -216,6 +221,11 @@ class Observability:
             }
         if migration:
             report["migration"] = migration
+        autoscale = {}
+        for counter in self.registry.counters_named("autoscale."):
+            autoscale[counter.name] = counter.value
+        if autoscale:
+            report["autoscale"] = autoscale
         if self._host is not None:
             report["coreengine"] = self._host.coreengine.stats()
         return report

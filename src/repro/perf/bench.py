@@ -68,7 +68,7 @@ def bench_events(quick: bool) -> dict:
 
 def _mux_workload(scan: str, n_vms: int, active_vms: int,
                   nqes_per_active: int, burst: int = 1,
-                  period: float = 20e-6) -> dict:
+                  period: float = 20e-6, ring_slots: int = 256) -> dict:
     """Fig. 8-style multiplexing on raw NK devices.
 
     ``n_vms`` devices register with one CoreEngine; ``active_vms`` of
@@ -83,7 +83,8 @@ def _mux_workload(scan: str, n_vms: int, active_vms: int,
     core = Core(sim, name="bench.ce", hz=DEFAULT_COST_MODEL.core_hz)
     # Small rings keep device setup cheap (4096-slot rings would make
     # allocation, not scheduling, dominate the 1000-VM bench).
-    engine = CoreEngine(sim, core, batch_size=8, ring_slots=256, scan=scan)
+    engine = CoreEngine(sim, core, batch_size=8, ring_slots=ring_slots,
+                        scan=scan)
     nsm_id, nsm_dev = engine.register_nsm("nsm0", queue_sets=1)
     vms = []
     for i in range(n_vms):
@@ -97,18 +98,35 @@ def _mux_workload(scan: str, n_vms: int, active_vms: int,
         qs = nsm_dev.queue_sets[0]
         job_ring, send_ring = nsm_dev.consume_rings(qs)
         completion_ring, _ = nsm_dev.produce_rings(qs)
+        backlog = []
         while True:
+            # Always consume requests (so CE's VM→NSM deliveries never
+            # stall on a full job ring) and queue responses locally,
+            # draining them whenever the completion ring has room —
+            # needed once the active-VM count approaches the ring size.
+            progressed = False
+            if backlog:
+                pushed = False
+                while backlog and not completion_ring.full:
+                    completion_ring.push(backlog.pop(0), owner=owner)
+                    pushed = True
+                if pushed:
+                    nsm_dev.ring_doorbell()
+                    progressed = True
             batch = job_ring.pop_batch(64, owner=owner)
             batch.extend(send_ring.pop_batch(64, owner=owner))
-            if not batch:
-                yield nsm_dev.wait_for_inbound()
-                continue
-            for nqe in batch:
-                received[0] += 1
-                completion_ring.push(nqe.response(NqeOp.OP_RESULT),
-                                     owner=owner)
-                NQE_POOL.release(nqe)
-            nsm_dev.ring_doorbell()
+            if batch:
+                progressed = True
+                for nqe in batch:
+                    received[0] += 1
+                    backlog.append(nqe.response(NqeOp.OP_RESULT))
+                    NQE_POOL.release(nqe)
+            if not progressed:
+                if backlog:
+                    yield sim.timeout(1e-6)
+                else:
+                    yield nsm_dev.wait_for_inbound()
+
 
     def drainer(vm_dev):
         owner = object()
@@ -187,6 +205,168 @@ def _bench_fig08(n_vms: int, nqes_quick: int, nqes_full: int):
     return bench
 
 
+# -- sharded CoreEngine multiplexing (fig. 8 at fleet scale) -----------------
+
+
+#: The per-shard fingerprint: every key a shard must reproduce
+#: bit-identically to a standalone 1-shard run of the same partition.
+_SHARD_FP_KEYS = ("nqes_switched", "batches", "received", "ce_busy_cycles")
+
+
+def _sharded_mux_workload(scan: str, n_shards: int, vms_per_shard: int,
+                          active_per_shard: int, nqes_per_active: int,
+                          burst: int = 1, period: float = 20e-6,
+                          ring_slots: int = 256) -> dict:
+    """The fig. 8 multiplexing workload partitioned over N shards.
+
+    Each shard gets its own NSM plus ``vms_per_shard`` VMs pinned to the
+    same shard and assigned to that NSM — a traffic-closed partition, so
+    no cross-shard handoffs occur and each shard's switching timeline is
+    independent.  Producers stagger by their *within-shard* index,
+    making every shard's workload identical to a standalone 1-shard run
+    of the same size; per-shard counters must therefore be bit-identical
+    to that reference (the sharding analogue of PR 2's ready-vs-full
+    scan proof).
+    """
+    from repro.core.sharding import ShardedCoreEngine
+
+    sim = Simulator()
+    cores = [Core(sim, name=f"bench.ce{i}", hz=DEFAULT_COST_MODEL.core_hz)
+             for i in range(n_shards)]
+    engine = ShardedCoreEngine(sim, cores, batch_size=8,
+                               ring_slots=ring_slots, scan=scan)
+    received = [0] * n_shards
+
+    def responder(shard_index, nsm_dev):
+        owner = object()
+        qs = nsm_dev.queue_sets[0]
+        job_ring, send_ring = nsm_dev.consume_rings(qs)
+        completion_ring, _ = nsm_dev.produce_rings(qs)
+        backlog = []
+        while True:
+            # Same consume-always/drain-opportunistically discipline as
+            # _mux_workload's responder — the two must stay identical
+            # for the per-shard fingerprint-identity proof to hold.
+            progressed = False
+            if backlog:
+                pushed = False
+                while backlog and not completion_ring.full:
+                    completion_ring.push(backlog.pop(0), owner=owner)
+                    pushed = True
+                if pushed:
+                    nsm_dev.ring_doorbell()
+                    progressed = True
+            batch = job_ring.pop_batch(64, owner=owner)
+            batch.extend(send_ring.pop_batch(64, owner=owner))
+            if batch:
+                progressed = True
+                for nqe in batch:
+                    received[shard_index] += 1
+                    backlog.append(nqe.response(NqeOp.OP_RESULT))
+                    NQE_POOL.release(nqe)
+            if not progressed:
+                if backlog:
+                    yield sim.timeout(1e-6)
+                else:
+                    yield nsm_dev.wait_for_inbound()
+
+
+    def drainer(vm_dev):
+        owner = object()
+        qs = vm_dev.queue_sets[0]
+        completion_ring, _ = vm_dev.consume_rings(qs)
+        while True:
+            batch = completion_ring.pop_batch(64, owner=owner)
+            if not batch:
+                yield vm_dev.wait_for_inbound()
+                continue
+            for nqe in batch:
+                NQE_POOL.release(nqe)
+
+    def producer(vm_id, vm_dev, index):
+        owner = object()
+        qs = vm_dev.queue_sets[0]
+        control_ring, _ = vm_dev.produce_rings(qs)
+        yield sim.timeout(1e-6 * (index + 1))  # within-shard stagger
+        for _ in range(nqes_per_active):
+            for _ in range(burst):
+                control_ring.push(
+                    NQE_POOL.acquire(NqeOp.SETSOCKOPT, vm_id, 0, 1,
+                                     created_at=sim.now),
+                    owner=owner)
+            vm_dev.ring_doorbell()
+            yield sim.timeout(period)
+
+    for shard_index in range(n_shards):
+        nsm_id, nsm_dev = engine.register_nsm(
+            f"nsm{shard_index}", queue_sets=1, shard=shard_index)
+        sim.process(responder(shard_index, nsm_dev))
+        shard_vms = []
+        for i in range(vms_per_shard):
+            vm_id, vm_dev = engine.register_vm(
+                f"s{shard_index}.vm{i}", queue_sets=1, shard=shard_index)
+            engine.assign_vm(vm_id, nsm_id)
+            shard_vms.append((vm_id, vm_dev))
+        for _vm_id, vm_dev in shard_vms:
+            sim.process(drainer(vm_dev))
+        for index, (vm_id, vm_dev) in enumerate(
+                shard_vms[:active_per_shard]):
+            sim.process(producer(vm_id, vm_dev, index))
+    sim.run()
+
+    per_shard = []
+    for shard_index, shard in enumerate(engine.shards):
+        stats = shard.stats()
+        fingerprint = {key: stats[key] for key in _SHARD_FP_KEYS
+                       if key in stats}
+        fingerprint["received"] = received[shard_index]
+        fingerprint["ce_busy_cycles"] = cores[shard_index].busy_cycles
+        per_shard.append(fingerprint)
+    return {
+        "sim_now": sim.now,
+        "events_processed": sim.events_processed,
+        "handoffs": engine.handoffs_in,
+        "per_shard": per_shard,
+    }
+
+
+def _bench_fig08_sharded(n_shards: int, vms_per_shard: int,
+                         nqes_quick: int, nqes_full: int):
+    def bench(quick: bool) -> dict:
+        active = max(1, vms_per_shard // 10)  # 10% duty cycle
+        nqes = nqes_quick if quick else nqes_full
+        # 250 active producers per partition need completion headroom a
+        # 256-slot ring does not give (the 1000-VM bench has only 100).
+        slots = 1024
+        # Reference: a standalone 1-shard CoreEngine running exactly one
+        # partition's workload.
+        wall_ref, peak_ref, ref = _measure(
+            lambda: _mux_workload("ready", vms_per_shard, active, nqes,
+                                  ring_slots=slots))
+        ref_fp = {key: ref[key] for key in _SHARD_FP_KEYS}
+        wall, peak, out = _measure(
+            lambda: _sharded_mux_workload("ready", n_shards, vms_per_shard,
+                                          active, nqes, ring_slots=slots))
+        match = (all(fp == ref_fp for fp in out["per_shard"])
+                 and out["sim_now"] == ref["sim_now"]
+                 and out["handoffs"] == 0)
+        return {
+            "wall_s": wall,
+            "events": out["events_processed"],
+            "peak_rss": max(peak, peak_ref),
+            "n_shards": n_shards,
+            "vms_total": n_shards * vms_per_shard,
+            "wall_1shard_partition_s": wall_ref,
+            "handoffs": out["handoffs"],
+            "fingerprint_match": match,
+            "fingerprint": ref_fp,
+            "per_shard_fingerprints": out["per_shard"],
+            "sim_now": out["sim_now"],
+        }
+
+    return bench
+
+
 # -- end-to-end short-request RPS (fig. 20's workload shape) -----------------
 
 
@@ -254,6 +434,8 @@ BENCHMARKS = {
     "fig08_mux_10": _bench_fig08(10, nqes_quick=100, nqes_full=2_000),
     "fig08_mux_100": _bench_fig08(100, nqes_quick=60, nqes_full=1_000),
     "fig08_mux_1000": _bench_fig08(1_000, nqes_quick=10, nqes_full=100),
+    "fig08_sharded": _bench_fig08_sharded(4, 2_500,
+                                          nqes_quick=4, nqes_full=100),
     "fig20_rps": bench_fig20_rps,
 }
 

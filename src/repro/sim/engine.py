@@ -68,6 +68,25 @@ class Simulator:
         event.callbacks.append(lambda _evt: fn())
         return event
 
+    def every(self, interval: float, fn: Callable[[], None],
+              start_delay: float = 0.0) -> "Process":
+        """Run ``fn`` periodically, every ``interval`` seconds, starting
+        ``start_delay`` from now.  ``fn`` returning ``False`` stops the
+        series (any other return value continues it).  Returns the
+        driving process, whose generator ends when the series stops."""
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive: {interval}")
+
+        def ticker():
+            if start_delay > 0:
+                yield self.timeout(start_delay)
+            while True:
+                if fn() is False:
+                    return
+                yield self.timeout(interval)
+
+        return self.process(ticker())
+
     # -- scheduling internals -----------------------------------------------
 
     def _queue_event(self, event: Event, delay: float = 0.0) -> None:

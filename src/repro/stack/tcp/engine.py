@@ -52,6 +52,12 @@ class TcpConnection:
         self.local_host: Optional[str] = None
         self.remote: Optional[Address] = None
 
+        # Engines still holding a live-migration forward that points at
+        # this endpoint (back-references, so every forward is reclaimed
+        # when the endpoint dies and collapsed when it moves again).
+        self._forwarders: List["TcpEngine"] = []
+        self._port_forwarders: List["TcpEngine"] = []
+
         self.send_buf = SendBuffer(engine.send_buf_bytes)
         self.recv_buf = ReceiveBuffer(engine.recv_buf_bytes)
 
@@ -271,6 +277,12 @@ class TcpEngine:
         """Graceful close: FIN once the send buffer drains."""
         if conn.state == TcpState.LISTEN:
             del self._listeners[conn.local_port]
+            # The listener is gone everywhere: engines that forwarded its
+            # port here must stop, or they would forward toward a port
+            # that now answers with RSTs (and leak the entry forever).
+            for engine in conn._port_forwarders:
+                engine._port_forwards.pop(conn.local_port, None)
+            conn._port_forwarders.clear()
             conn.state = TcpState.CLOSED
             self._notify_closed(conn)
             return
@@ -703,7 +715,15 @@ class TcpEngine:
         self._charge(self.conn_teardown_cycles, "tcp_conn_teardown")
         self._cancel_rtx(conn)
         if conn.local_port is not None and conn.remote is not None:
-            self._conns.pop((conn.local_port, conn.remote), None)
+            key = (conn.local_port, conn.remote)
+            self._conns.pop(key, None)
+            # Reclaim every forward left behind by migrations: the
+            # 4-tuple is dead, and a stale entry would hijack a future
+            # connection that reuses it (and leak one dict slot per
+            # migrate/close cycle forever).
+            for engine in conn._forwarders:
+                engine._forwards.pop(key, None)
+            conn._forwarders.clear()
         self._notify_closed(conn)
 
     def _notify_closed(self, conn: TcpConnection) -> None:
@@ -790,7 +810,18 @@ class TcpEngine:
             del self._listeners[port]
             target._listeners[port] = conn
             conn.engine = target
+            # Collapse the forwarding chain: every engine that ever
+            # hosted this listener forwards straight to the new owner
+            # (one hop max); the new owner's own stale entry — the
+            # A→B→A round trip — is reclaimed, not left to shadow it.
             self._port_forwards[port] = target
+            if self not in conn._port_forwarders:
+                conn._port_forwarders.append(self)
+            for engine in conn._port_forwarders:
+                engine._port_forwards[port] = target
+            if target in conn._port_forwarders:
+                conn._port_forwarders.remove(target)
+                target._port_forwards.pop(port, None)
             # Children (established, handshaking, accept-queued) share the
             # listener's port; move every one of them with it.
             for key, child in sorted(self._conns.items()):
@@ -822,7 +853,17 @@ class TcpEngine:
         del self._conns[key]
         conn.engine = target
         target._conns[key] = conn
+        # Collapse the forwarding chain (see the listener branch above):
+        # all previous hosts point at the new owner, and the new owner's
+        # own stale entry from an earlier hop is reclaimed.
         self._forwards[key] = target
+        if self not in conn._forwarders:
+            conn._forwarders.append(self)
+        for engine in conn._forwarders:
+            engine._forwards[key] = target
+        if target in conn._forwarders:
+            conn._forwarders.remove(target)
+            target._forwards.pop(key, None)
         # Keep the target's ephemeral allocator clear of imported ports.
         if (conn.local_port is not None
                 and conn.local_port >= target._next_port):

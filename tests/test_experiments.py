@@ -47,10 +47,12 @@ class TestRegistry:
             f"table{i}" for i in range(2, 8)}
         assert expected <= set(REGISTRY)
         extras = set(REGISTRY) - expected
-        # Beyond the paper's own figures/tables we register ablations and
-        # the §8 robustness experiments (NSM failover, live migration).
+        # Beyond the paper's own figures/tables we register ablations,
+        # the §8 robustness experiments (NSM failover, live migration),
+        # and the §7.3 fleet-scale follow-on (NSM autoscaling).
         assert all(x.startswith("ablation-")
-                   or x in ("fig-failover", "fig-migration")
+                   or x in ("fig-failover", "fig-migration",
+                            "fig-autoscale")
                    for x in extras)
 
     def test_unknown_id_raises(self):
