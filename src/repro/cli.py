@@ -1,46 +1,45 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every subcommand supports ``--json``, emitting one result envelope —
+``{"ok": bool, "kind": ..., "data": ..., "error": ...}`` — and draws
+its process exit code from the single ``repro.errors.EXIT_CODES``
+table.  Run-producing subcommands are thin adapters over the
+control-plane executor (``repro.ctrl``): they build a JobSpec and run
+it through exactly the code path ``repro serve`` uses.
+
 Commands
 --------
 list
     Show every reproducible paper artifact with its title.
 run <ids...>
-    Regenerate the given tables/figures (or ``all``); ``--quick`` shrinks
-    the packet-level experiments.
+    Regenerate the given tables/figures (or ``all``); ``--quick``
+    shrinks the packet-level experiments.
 calibration
     Dump the calibrated cost model constants.
 stats
-    Run a quickstart-style workload with the repro.obs layer enabled and
-    print per-stage NQE latency, ring occupancy, and token-bucket state
-    (``--json`` for machine-readable output).
+    Run a quickstart-style workload with the repro.obs layer enabled
+    and print per-stage NQE latency, ring occupancy, token buckets.
 bench
-    Run the wall-clock perf harness (``repro.perf``): events/sec, NQE
-    switches/sec, fig. 8 multiplexing at 10/100/1000 VMs (ready-set vs
-    full-scan speedup + timeline-identity check), and an end-to-end RPS
-    workload.  ``--out`` writes one ``BENCH_<name>.json`` per result;
-    ``--floors`` fails the run when a wall time regresses more than 2x
-    against the checked-in floor.
+    Run the wall-clock perf harness (``repro.perf``).  ``--out`` writes
+    BENCH_<name>.json files; ``--floors`` fails on >2x regressions.
 chaos
-    Run the seeded fault-injection workload (``repro.faults``): echo
-    traffic through an NSM that crashes/stalls/drops per ``--plan``,
-    with heartbeat failure detection and connection failover armed.
-    ``--verify`` runs the plan twice and fails unless the two timelines
-    are bit-identical (switch-fingerprint equality) and leak-free —
-    the same check the chaos-smoke CI job runs.
+    Run the seeded fault-injection workload (``repro.faults``);
+    ``--verify`` replays the plan and fails unless bit-identical and
+    leak-free (the chaos-smoke CI check).
 migrate
-    Run the seeded live-migration workload (``repro.faults.migration``):
-    N echo streams through a client VM that is live-migrated between
-    NSMs mid-traffic, with ops parked (not failed) during the blackout.
-    ``--verify`` runs twice and fails unless bit-identical, leak-free,
-    and zero-reset — the same check the migration-smoke CI job runs.
+    Run the seeded live-migration workload; ``--verify`` fails unless
+    bit-identical, leak-free, and zero-reset (migration-smoke CI).
 autoscale
-    Run the NSM autoscaling workload (``repro.experiments.fig_autoscale``)
-    on a sharded CoreEngine: the AG-trace aggregate drives NSM
-    spawn/retire/rebalance through the serialized job queue, with echo
-    traffic live across every migration.  ``--chaos`` crashes the
-    busiest autoscaler-spawned NSM mid-rebalance.  Fails on any leaked
-    forward, pool imbalance, or VM-on-inactive-NSM assignment — the
-    same check the autoscale-smoke CI job runs.
+    Run the NSM autoscaling workload on a sharded CoreEngine; fails on
+    any leaked forward, pool imbalance, or VM-on-inactive-NSM
+    assignment (autoscale-smoke CI).
+job submit|status|list|result
+    The control plane as a CLI: submit runs a JobSpec through the
+    serialized worker against the JSON RunStore (``--store``, default
+    ./runs) — queued jobs recovered from a killed worker run first.
+serve
+    Boot the REST control plane (``POST /jobs``, ``GET /jobs/<id>``,
+    ``GET /fleet``) over the same store and worker.
 """
 
 from __future__ import annotations
@@ -50,9 +49,17 @@ import dataclasses
 import json
 import sys
 import time
-from typing import List
+from typing import List, Optional
 
-from repro.experiments import REGISTRY, run_experiment
+from repro.ctrl.envelope import Envelope
+from repro.ctrl.executor import execute_job
+from repro.ctrl.jobs import JobSpec, KIND_PARAMS
+from repro.ctrl.store import DEFAULT_STORE, RunStore
+from repro.ctrl.worker import JobWorker
+from repro.errors import (ControlPlaneError, JobValidationError,
+                          UnknownJobError)
+from repro.experiments import ExperimentResult
+from repro.experiments.registry import REGISTRY, canonical_id
 
 QUICK_KWARGS = {
     "fig9": {"duration": 0.6},
@@ -60,43 +67,16 @@ QUICK_KWARGS = {
     "table5": {"requests": 400, "concurrency": 80},
 }
 
-TITLES = {
-    "fig7": "Traffic of three most-utilized AGs",
-    "fig8": "Per-core RPS under multiplexing",
-    "fig9": "VM-level fair bandwidth sharing",
-    "fig10": "Shared-memory NSM vs colocated TCP",
-    "fig11": "CoreEngine NQE switching vs batch size",
-    "fig12": "Hugepage memory-copy throughput",
-    "fig13": "Single-stream send throughput",
-    "fig14": "Single-stream receive throughput",
-    "fig15": "8-stream send throughput",
-    "fig16": "8-stream receive throughput",
-    "fig17": "Short-connection RPS vs message size",
-    "fig18": "Send scaling with vCPUs",
-    "fig19": "Receive scaling with vCPUs",
-    "fig20": "RPS scaling (kernel and mTCP NSMs)",
-    "fig21": "Isolation with per-VM rate caps",
-    "table2": "AG packing on a 32-core machine",
-    "table3": "nginx over kernel vs mTCP NSMs",
-    "table4": "Scaling with number of NSMs",
-    "table5": "Response-time distribution",
-    "table6": "CPU overhead vs throughput",
-    "table7": "CPU overhead vs request rate",
-    "ablation-batching": "Ablation: CoreEngine batch size",
-    "ablation-polling": "Ablation: interrupt-driven polling window",
-    "ablation-pipelining": "Ablation: pipelined vs synchronous send()",
-    "ablation-queues": "Ablation: lockless per-vCPU queues vs shared",
-    "ablation-double-stack": "Ablation: stack-on-hypervisor alternative",
-    "fig-failover": "Recovery time vs failure-detection timeout",
-    "fig-migration": "Migration downtime vs live-connection count",
-    "fig-autoscale": "NSM autoscaling on the AG-trace load signal",
-}
 
-
-def _cmd_list() -> int:
-    for exp_id in sorted(REGISTRY, key=_sort_key):
-        print(f"  {exp_id:<8} {TITLES.get(exp_id, '')}")
-    return 0
+def _finish(env: Envelope, as_json: bool) -> int:
+    """Emit the envelope (JSON mode) or its failures (human mode) and
+    return the table-derived exit code."""
+    if as_json:
+        print(env.to_json())
+    else:
+        for failure in env.failures:
+            print(failure["message"], file=sys.stderr)
+    return env.exit_code
 
 
 def _sort_key(exp_id: str):
@@ -110,20 +90,39 @@ def _sort_key(exp_id: str):
     return (kind, int(digits), "")
 
 
-def _cmd_run(ids: List[str], quick: bool) -> int:
+def _cmd_list(as_json: bool) -> int:
+    env = Envelope("list", {
+        "experiments": {
+            exp_id: {"title": entry.title, "params": list(entry.params)}
+            for exp_id, entry in sorted(REGISTRY.items())
+        },
+    })
+    if not as_json:
+        for exp_id in sorted(REGISTRY, key=_sort_key):
+            print(f"  {exp_id:<8} {REGISTRY[exp_id].title}")
+    return _finish(env, as_json)
+
+
+def _cmd_run(ids: List[str], quick: bool, as_json: bool) -> int:
+    env = Envelope("run", {"results": []})
     if ids == ["all"]:
         ids = sorted(REGISTRY, key=_sort_key)
-    unknown = [i for i in ids if i not in REGISTRY]
+    unknown = [i for i in ids if canonical_id(i) not in REGISTRY]
     if unknown:
-        print(f"unknown experiments: {unknown}", file=sys.stderr)
-        return 1
+        env.fail("usage", f"unknown experiments: {unknown}")
+        return _finish(env, as_json)
     for exp_id in ids:
+        exp_id = canonical_id(exp_id)
         kwargs = QUICK_KWARGS.get(exp_id, {}) if quick else {}
         started = time.time()
-        result = run_experiment(exp_id, **kwargs)
-        print(result.table_str())
-        print(f"({time.time() - started:.1f}s wall)\n")
-    return 0
+        payload = execute_job(JobSpec("experiment", experiment=exp_id,
+                                      params=kwargs))
+        env.data["results"].append(payload)
+        if not as_json:
+            result = ExperimentResult.from_dict(payload["result"])
+            print(result.table_str())
+            print(f"({time.time() - started:.1f}s wall)\n")
+    return _finish(env, as_json)
 
 
 def _stats_workload(transfer_bytes: int):
@@ -182,9 +181,9 @@ def _stats_workload(transfer_bytes: int):
 def _cmd_stats(as_json: bool, transfer_bytes: int) -> int:
     obs, done = _stats_workload(transfer_bytes)
     report = obs.report()
+    env = Envelope("stats", report)
     if as_json:
-        print(json.dumps(report, indent=2, default=str))
-        return 0
+        return _finish(env, as_json)
     from repro.experiments.report import obs_ops_table, obs_stage_table
 
     print(obs_stage_table(report).table_str())
@@ -210,61 +209,64 @@ def _cmd_stats(as_json: bool, transfer_bytes: int) -> int:
           f"passes={ce['sched.passes']} "
           f"stale_wakeups={ce['sched.stale_wakeups']} "
           "(stall timeouts disarmed after a doorbell won the race)")
-    return 0
+    return _finish(env, as_json)
 
 
 def _cmd_bench(names: List[str], quick: bool, out_dir: str,
-               floors_path: str) -> int:
-    from repro.perf import check_floors, run_benchmarks, write_results
+               floors_path: str, as_json: bool) -> int:
+    from repro.perf import check_floors, write_results
 
+    env = Envelope("bench")
     try:
-        results = run_benchmarks(names or None, quick=quick)
+        payload = execute_job(JobSpec("bench", params={
+            "names": names or None, "quick": quick}))
     except KeyError as error:
-        print(error.args[0], file=sys.stderr)
-        return 1
-    for name, result in results.items():
-        line = (f"  {name:<16} wall={result['wall_s']:.3f}s "
-                f"events={result['events']} "
-                f"peak_rss={result['peak_rss']}KiB")
-        if "speedup_vs_full" in result:
-            line += (f" speedup={result['speedup_vs_full']:.2f}x "
-                     f"identical={result['fingerprint_match']}")
-        print(line)
+        env.fail("usage", error.args[0])
+        return _finish(env, as_json)
+    results = payload["results"]
+    env.data = {"results": results, "written": [], "floor_failures": []}
+    if not as_json:
+        for name, result in results.items():
+            line = (f"  {name:<16} wall={result['wall_s']:.3f}s "
+                    f"events={result['events']} "
+                    f"peak_rss={result['peak_rss']}KiB")
+            if "speedup_vs_full" in result:
+                line += (f" speedup={result['speedup_vs_full']:.2f}x "
+                         f"identical={result['fingerprint_match']}")
+            print(line)
     if out_dir:
         for path in write_results(results, out_dir):
-            print(f"wrote {path}")
-    exit_code = 0
+            env.data["written"].append(path)
+            if not as_json:
+                print(f"wrote {path}")
     mismatched = [n for n, r in results.items()
                   if r.get("fingerprint_match") is False]
     if mismatched:
-        print(f"TIMELINE DIVERGENCE between scan modes: {mismatched}",
-              file=sys.stderr)
-        exit_code = 1
+        env.fail("divergence",
+                 f"TIMELINE DIVERGENCE between scan modes: {mismatched}")
     if floors_path:
         with open(floors_path) as handle:
             floors = json.load(handle)
         failures = check_floors(results, floors)
+        env.data["floor_failures"] = failures
         for failure in failures:
-            print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
-        if failures:
-            exit_code = 1
-    return exit_code
+            env.fail("floor", f"FLOOR REGRESSION: {failure}")
+    return _finish(env, as_json)
 
 
 def _cmd_chaos(seed: int, plan: str, duration: float,
                detection_timeout: float, heartbeat_interval: float,
                as_json: bool, verify: bool) -> int:
-    from repro.faults.chaos import run_chaos
-
+    env = Envelope("chaos")
+    spec = JobSpec("chaos", params={
+        "seed": seed, "plan_name": plan, "duration": duration,
+        "detection_timeout": detection_timeout,
+        "heartbeat_interval": heartbeat_interval}, seed=seed)
     runs = 2 if verify else 1
-    results = [run_chaos(seed=seed, plan_name=plan, duration=duration,
-                         detection_timeout=detection_timeout,
-                         heartbeat_interval=heartbeat_interval)
-               for _ in range(runs)]
+    results = [execute_job(spec)["result"] for _ in range(runs)]
     result = results[0]
-    if as_json:
-        print(json.dumps(result, indent=2, default=str))
-    else:
+    env.data = {"result": result, "verify": verify}
+    if not as_json:
         counters = result["counters"]
         recovery = result["recovery_sec"]
         print(f"plan={plan} seed={seed} duration={duration}s "
@@ -278,35 +280,31 @@ def _cmd_chaos(seed: int, plan: str, duration: float,
               f"recovery="
               f"{'n/a' if recovery is None else f'{recovery * 1e3:.2f}ms'}")
         print(f"  fingerprint={result['switch_fingerprint'][:16]}…")
-    exit_code = 0
     for index, run in enumerate(results):
         for leak in run["leaks"]:
-            print(f"RESOURCE LEAK (run {index + 1}): {leak}",
-                  file=sys.stderr)
-            exit_code = 1
+            env.fail("leak", f"RESOURCE LEAK (run {index + 1}): {leak}")
     if verify:
         fingerprints = {run["switch_fingerprint"] for run in results}
         if len(fingerprints) != 1:
-            print("TIMELINE DIVERGENCE: same seed+plan produced "
-                  f"{len(fingerprints)} distinct fingerprints",
-                  file=sys.stderr)
-            exit_code = 1
-        elif exit_code == 0:
+            env.fail("divergence",
+                     "TIMELINE DIVERGENCE: same seed+plan produced "
+                     f"{len(fingerprints)} distinct fingerprints")
+        elif env.ok and not as_json:
             print("verify OK: 2 runs bit-identical, no leaks")
-    return exit_code
+    return _finish(env, as_json)
 
 
 def _cmd_migrate(seed: int, streams: int, duration: float,
                  as_json: bool, verify: bool) -> int:
-    from repro.faults.migration import run_migration
-
+    env = Envelope("migrate")
+    spec = JobSpec("migrate", params={
+        "seed": seed, "streams": streams, "duration": duration},
+        seed=seed)
     runs = 2 if verify else 1
-    results = [run_migration(seed=seed, streams=streams, duration=duration)
-               for _ in range(runs)]
+    results = [execute_job(spec)["result"] for _ in range(runs)]
     result = results[0]
-    if as_json:
-        print(json.dumps(result, indent=2, default=str))
-    else:
+    env.data = {"result": result, "verify": verify}
+    if not as_json:
         counters = result["counters"]
         record = result["migration"]
         print(f"seed={seed} streams={streams} duration={duration}s")
@@ -323,45 +321,40 @@ def _cmd_migrate(seed: int, streams: int, duration: float,
         else:
             print(f"  migration FAILED: {result['migration_error']}")
         print(f"  fingerprint={result['switch_fingerprint'][:16]}…")
-    exit_code = 0
     for index, run in enumerate(results):
         for leak in run["leaks"]:
-            print(f"RESOURCE LEAK (run {index + 1}): {leak}",
-                  file=sys.stderr)
-            exit_code = 1
+            env.fail("leak", f"RESOURCE LEAK (run {index + 1}): {leak}")
         counters = run["counters"]
         if run["migration"] is None:
-            print(f"MIGRATION FAILED (run {index + 1}): "
-                  f"{run['migration_error']}", file=sys.stderr)
-            exit_code = 1
+            env.fail("failure", f"MIGRATION FAILED (run {index + 1}): "
+                                f"{run['migration_error']}")
         if counters["resets"] or counters["timeouts"] \
                 or counters["mismatches"]:
-            print(f"GUEST-VISIBLE DISRUPTION (run {index + 1}): "
-                  f"resets={counters['resets']} "
-                  f"timeouts={counters['timeouts']} "
-                  f"mismatches={counters['mismatches']}", file=sys.stderr)
-            exit_code = 1
+            env.fail("disruption",
+                     f"GUEST-VISIBLE DISRUPTION (run {index + 1}): "
+                     f"resets={counters['resets']} "
+                     f"timeouts={counters['timeouts']} "
+                     f"mismatches={counters['mismatches']}")
     if verify:
         fingerprints = {run["switch_fingerprint"] for run in results}
         if len(fingerprints) != 1:
-            print("TIMELINE DIVERGENCE: same seed+streams produced "
-                  f"{len(fingerprints)} distinct fingerprints",
-                  file=sys.stderr)
-            exit_code = 1
-        elif exit_code == 0:
+            env.fail("divergence",
+                     "TIMELINE DIVERGENCE: same seed+streams produced "
+                     f"{len(fingerprints)} distinct fingerprints")
+        elif env.ok and not as_json:
             print("verify OK: 2 runs bit-identical, zero-reset, no leaks")
-    return exit_code
+    return _finish(env, as_json)
 
 
 def _cmd_autoscale(seed: int, ticks: int, shards: int, chaos: bool,
                    as_json: bool) -> int:
-    from repro.experiments.fig_autoscale import run_autoscale_scenario
-
-    result = run_autoscale_scenario(seed=seed, ticks=ticks,
-                                    ce_shards=shards, chaos=chaos)
-    if as_json:
-        print(json.dumps(result, indent=2, default=str))
-    else:
+    env = Envelope("autoscale")
+    spec = JobSpec("autoscale", params={
+        "seed": seed, "ticks": ticks, "ce_shards": shards,
+        "chaos": chaos}, seed=seed)
+    result = execute_job(spec)["result"]
+    env.data = {"result": result}
+    if not as_json:
         counters = result["autoscaler"]["counters"]
         workload = result["workload"]
         print(f"seed={seed} ticks={ticks} shards={shards} chaos={chaos}")
@@ -375,57 +368,159 @@ def _cmd_autoscale(seed: int, ticks: int, shards: int, chaos: bool,
         print(f"  leaked_forwards={result['forward_leaks']} "
               f"live_forward_entries={result['forward_entries']} "
               f"pool_delta={result['pool_delta']}")
-    exit_code = 0
     for violation in result["violations"]:
-        print(f"ASSIGNMENT VIOLATION: {violation}", file=sys.stderr)
-        exit_code = 1
+        env.fail("invariant", f"ASSIGNMENT VIOLATION: {violation}")
     if result["forward_leaks"]:
-        print(f"FORWARD LEAK: {result['forward_leaks']} dangling "
-              "forwarding entries", file=sys.stderr)
-        exit_code = 1
+        env.fail("leak", f"FORWARD LEAK: {result['forward_leaks']} "
+                         "dangling forwarding entries")
     if result["pool_delta"]:
-        print(f"POOL IMBALANCE: NQE pool outstanding delta "
-              f"{result['pool_delta']}", file=sys.stderr)
-        exit_code = 1
+        env.fail("leak", f"POOL IMBALANCE: NQE pool outstanding delta "
+                         f"{result['pool_delta']}")
     if not chaos and result["forward_entries"]:
-        print(f"FORWARD ENTRIES after clean shutdown: "
-              f"{result['forward_entries']}", file=sys.stderr)
-        exit_code = 1
-    if exit_code == 0:
+        env.fail("leak", f"FORWARD ENTRIES after clean shutdown: "
+                         f"{result['forward_entries']}")
+    if env.ok and not as_json:
         print("autoscale OK: no leaks, pool balanced, "
               "no inactive assignments")
-    return exit_code
+    return _finish(env, as_json)
 
 
-def _cmd_calibration() -> int:
+def _cmd_calibration(as_json: bool) -> int:
     from repro.cpu.cost_model import DEFAULT_COST_MODEL
 
-    for field in dataclasses.fields(DEFAULT_COST_MODEL):
-        value = getattr(DEFAULT_COST_MODEL, field.name)
-        print(f"  {field.name:<40} {value}")
+    constants = {field.name: getattr(DEFAULT_COST_MODEL, field.name)
+                 for field in dataclasses.fields(DEFAULT_COST_MODEL)}
+    env = Envelope("calibration", constants)
+    if not as_json:
+        for name, value in constants.items():
+            print(f"  {name:<40} {value}")
+    return _finish(env, as_json)
+
+
+# -- control-plane verbs -------------------------------------------------------
+
+
+def _parse_params(pairs: List[str]) -> dict:
+    """``--param key=value`` items; values parse as JSON, then string."""
+    params = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise JobValidationError(
+                f"--param wants key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _cmd_job_submit(args) -> int:
+    env = Envelope("job-submit")
+    try:
+        spec = JobSpec(kind=args.kind, experiment=args.id,
+                       params=_parse_params(args.param),
+                       seed=args.seed, max_retries=args.retries)
+        spec.validate()
+    except JobValidationError as error:
+        env.fail("usage", str(error))
+        return _finish(env, args.json)
+    worker = JobWorker(RunStore(args.store))
+    if args.no_wait:
+        job = worker.submit(spec)
+    else:
+        job = worker.run_to_completion(spec)
+    env.data = {"job": job.to_dict()}
+    if job.state == "failed":
+        env.fail("job-failed",
+                 f"job {job.job_id} failed after {job.attempts} "
+                 f"attempt(s): {job.error}")
+    if not args.json:
+        print(f"{job.job_id} {job.spec.kind} state={job.state} "
+              f"attempts={job.attempts}")
+        if job.state == "done" and job.spec.kind == "experiment":
+            payload = worker.store.load_result(job.job_id)
+            print(ExperimentResult.from_dict(
+                payload["result"]).table_str())
+    return _finish(env, args.json)
+
+
+def _cmd_job_status(args) -> int:
+    env = Envelope("job-status")
+    try:
+        job = RunStore(args.store).load_job(args.job_id)
+    except UnknownJobError as error:
+        env.fail("usage", str(error))
+        return _finish(env, args.json)
+    env.data = {"job": job.to_dict()}
+    if not args.json:
+        print(f"{job.job_id} {job.spec.kind} state={job.state} "
+              f"attempts={job.attempts}"
+              + (f" error={job.error}" if job.error else ""))
+    return _finish(env, args.json)
+
+
+def _cmd_job_list(args) -> int:
+    store = RunStore(args.store)
+    jobs = store.list_jobs()
+    env = Envelope("job-list", {"jobs": [j.to_dict() for j in jobs]})
+    if not args.json:
+        for job in jobs:
+            result = "result" if store.has_result(job.job_id) else "-"
+            print(f"  {job.job_id}  {job.spec.kind:<10} "
+                  f"{job.state:<8} attempts={job.attempts} {result}")
+    return _finish(env, args.json)
+
+
+def _cmd_job_result(args) -> int:
+    env = Envelope("job-result")
+    store = RunStore(args.store)
+    try:
+        payload = store.load_result(args.job_id)
+    except UnknownJobError as error:
+        env.fail("usage", str(error))
+        return _finish(env, args.json)
+    env.data = payload
+    if not args.json:
+        # The stored bytes, verbatim: what the acceptance check diffs.
+        sys.stdout.write(store.result_bytes(args.job_id).decode())
+    return _finish(env, args.json)
+
+
+def _cmd_serve(args) -> int:
+    from repro.ctrl.service import serve
+
+    serve(host=args.host, port=args.port, store_root=args.store)
     return 0
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="repro", description="NetKernel reproduction toolkit")
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list reproducible paper artifacts")
-    run_parser = sub.add_parser("run", help="regenerate tables/figures")
+
+    def add_json(p):
+        p.add_argument("--json", action="store_true",
+                       help="emit the result envelope as JSON")
+        return p
+
+    add_json(sub.add_parser("list",
+                            help="list reproducible paper artifacts"))
+    run_parser = add_json(sub.add_parser(
+        "run", help="regenerate tables/figures"))
     run_parser.add_argument("ids", nargs="+",
                             help="experiment ids, or 'all'")
     run_parser.add_argument("--quick", action="store_true",
                             help="shrink the packet-level experiments")
-    sub.add_parser("calibration", help="dump cost-model constants")
-    stats_parser = sub.add_parser(
-        "stats", help="run an instrumented workload and print obs report")
-    stats_parser.add_argument("--json", action="store_true",
-                              help="emit the full report as JSON")
+    add_json(sub.add_parser("calibration",
+                            help="dump cost-model constants"))
+    stats_parser = add_json(sub.add_parser(
+        "stats", help="run an instrumented workload and print obs report"))
     stats_parser.add_argument("--bytes", type=int, default=1 << 20,
                               help="bytes the client transfers (default 1MiB)")
-    bench_parser = sub.add_parser(
-        "bench", help="run wall-clock performance benchmarks")
+    bench_parser = add_json(sub.add_parser(
+        "bench", help="run wall-clock performance benchmarks"))
     bench_parser.add_argument("names", nargs="*",
                               help="benchmark names (default: all)")
     bench_parser.add_argument("--quick", action="store_true",
@@ -436,8 +531,8 @@ def main(argv: List[str] = None) -> int:
                               help="JSON of wall-time floors; fail at >2x")
     from repro.faults.plan import PLAN_NAMES
 
-    chaos_parser = sub.add_parser(
-        "chaos", help="run a seeded fault-injection workload")
+    chaos_parser = add_json(sub.add_parser(
+        "chaos", help="run a seeded fault-injection workload"))
     chaos_parser.add_argument("--seed", type=int, default=0,
                               help="fault-plan RNG seed (default 0)")
     chaos_parser.add_argument("--plan", choices=PLAN_NAMES,
@@ -453,26 +548,22 @@ def main(argv: List[str] = None) -> int:
                               default=2e-3,
                               help="heartbeat probe period in seconds "
                                    "(default 0.002)")
-    chaos_parser.add_argument("--json", action="store_true",
-                              help="emit the full result as JSON")
     chaos_parser.add_argument("--verify", action="store_true",
                               help="run twice; fail unless bit-identical "
                                    "and leak-free")
-    migrate_parser = sub.add_parser(
-        "migrate", help="run a seeded live-migration workload")
+    migrate_parser = add_json(sub.add_parser(
+        "migrate", help="run a seeded live-migration workload"))
     migrate_parser.add_argument("--seed", type=int, default=0,
                                 help="payload-pattern seed (default 0)")
     migrate_parser.add_argument("--streams", type=int, default=8,
                                 help="concurrent echo streams (default 8)")
     migrate_parser.add_argument("--duration", type=float, default=0.12,
                                 help="simulated seconds (default 0.12)")
-    migrate_parser.add_argument("--json", action="store_true",
-                                help="emit the full result as JSON")
     migrate_parser.add_argument("--verify", action="store_true",
                                 help="run twice; fail unless bit-identical, "
                                      "zero-reset, and leak-free")
-    autoscale_parser = sub.add_parser(
-        "autoscale", help="run the NSM autoscaling workload")
+    autoscale_parser = add_json(sub.add_parser(
+        "autoscale", help="run the NSM autoscaling workload"))
     autoscale_parser.add_argument("--seed", type=int, default=0,
                                   help="AG-trace seed (default 0)")
     autoscale_parser.add_argument("--ticks", type=int, default=14,
@@ -483,30 +574,86 @@ def main(argv: List[str] = None) -> int:
     autoscale_parser.add_argument("--chaos", action="store_true",
                                   help="crash the busiest managed NSM "
                                        "mid-rebalance")
-    autoscale_parser.add_argument("--json", action="store_true",
-                                  help="emit the full result as JSON")
+
+    job_parser = sub.add_parser(
+        "job", help="control-plane jobs against the RunStore")
+    job_sub = job_parser.add_subparsers(dest="job_command", required=True)
+
+    def add_store(p):
+        p.add_argument("--store", default=DEFAULT_STORE,
+                       help=f"RunStore directory (default {DEFAULT_STORE})")
+        return add_json(p)
+
+    submit_parser = add_store(job_sub.add_parser(
+        "submit", help="submit a job and (by default) run it"))
+    submit_parser.add_argument("--kind", required=True,
+                               choices=sorted(KIND_PARAMS),
+                               help="what to run")
+    submit_parser.add_argument("--id", default=None,
+                               help="experiment id (kind=experiment)")
+    submit_parser.add_argument("--param", action="append", default=[],
+                               metavar="KEY=VALUE",
+                               help="runner parameter (repeatable; "
+                                    "values parse as JSON)")
+    submit_parser.add_argument("--seed", type=int, default=0,
+                               help="job seed (default 0)")
+    submit_parser.add_argument("--retries", type=int, default=2,
+                               help="max retries on failure (default 2)")
+    submit_parser.add_argument("--no-wait", action="store_true",
+                               help="enqueue only; a later submit or "
+                                    "'repro serve' worker runs it")
+    status_parser = add_store(job_sub.add_parser(
+        "status", help="show one job record"))
+    status_parser.add_argument("job_id")
+    add_store(job_sub.add_parser("list", help="list every job"))
+    result_parser = add_store(job_sub.add_parser(
+        "result", help="print a job's stored result"))
+    result_parser.add_argument("job_id")
+
+    serve_parser = sub.add_parser(
+        "serve", help="boot the REST control plane")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8642)
+    serve_parser.add_argument("--store", default=DEFAULT_STORE,
+                              help=f"RunStore directory "
+                                   f"(default {DEFAULT_STORE})")
 
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args.ids, args.quick)
-    if args.command == "calibration":
-        return _cmd_calibration()
-    if args.command == "stats":
-        return _cmd_stats(args.json, args.bytes)
-    if args.command == "bench":
-        return _cmd_bench(args.names, args.quick, args.out, args.floors)
-    if args.command == "chaos":
-        return _cmd_chaos(args.seed, args.plan, args.duration,
-                          args.detection_timeout, args.heartbeat_interval,
-                          args.json, args.verify)
-    if args.command == "migrate":
-        return _cmd_migrate(args.seed, args.streams, args.duration,
-                            args.json, args.verify)
-    if args.command == "autoscale":
-        return _cmd_autoscale(args.seed, args.ticks, args.shards,
-                              args.chaos, args.json)
+    try:
+        if args.command == "list":
+            return _cmd_list(args.json)
+        if args.command == "run":
+            return _cmd_run(args.ids, args.quick, args.json)
+        if args.command == "calibration":
+            return _cmd_calibration(args.json)
+        if args.command == "stats":
+            return _cmd_stats(args.json, args.bytes)
+        if args.command == "bench":
+            return _cmd_bench(args.names, args.quick, args.out,
+                              args.floors, args.json)
+        if args.command == "chaos":
+            return _cmd_chaos(args.seed, args.plan, args.duration,
+                              args.detection_timeout,
+                              args.heartbeat_interval,
+                              args.json, args.verify)
+        if args.command == "migrate":
+            return _cmd_migrate(args.seed, args.streams, args.duration,
+                                args.json, args.verify)
+        if args.command == "autoscale":
+            return _cmd_autoscale(args.seed, args.ticks, args.shards,
+                                  args.chaos, args.json)
+        if args.command == "job":
+            handler = {"submit": _cmd_job_submit,
+                       "status": _cmd_job_status,
+                       "list": _cmd_job_list,
+                       "result": _cmd_job_result}[args.job_command]
+            return handler(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+    except ControlPlaneError as error:
+        as_json = bool(getattr(args, "json", False))
+        return _finish(Envelope(args.command).fail("usage", str(error)),
+                       as_json)
     return 1
 
 

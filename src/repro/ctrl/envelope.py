@@ -1,0 +1,65 @@
+"""One result envelope for every CLI subcommand and service response.
+
+Shape (the satellite contract from ISSUE 7)::
+
+    {"ok": bool, "kind": "<subcommand>", "data": ..., "error": null |
+     {"code": "<EXIT_CODES name>", "exit_code": int, "messages": [...]}}
+
+Commands build an :class:`Envelope`, attach their machine-readable
+``data``, and record failures with :meth:`Envelope.fail` using names
+from the single :data:`repro.errors.EXIT_CODES` table.  The process
+exit code is derived from the first failure (success is 0), so the
+per-command ad-hoc ``return 1`` conventions are gone.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.errors import EXIT_CODES, exit_code
+
+
+class Envelope:
+    """Accumulates one command's outcome (see module docstring)."""
+
+    def __init__(self, kind: str, data: Optional[Any] = None):
+        self.kind = kind
+        self.data: Any = data if data is not None else {}
+        self.failures: List[Dict[str, Any]] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def fail(self, code: str, message: str) -> "Envelope":
+        """Record one failure; ``code`` must name an EXIT_CODES row."""
+        if code not in EXIT_CODES or code == "ok":
+            raise ValueError(f"unknown failure code {code!r}; choose "
+                             f"from {sorted(set(EXIT_CODES) - {'ok'})}")
+        self.failures.append({"code": code, "message": message})
+        return self
+
+    @property
+    def exit_code(self) -> int:
+        """0 when ok; otherwise the first failure's table entry."""
+        if self.ok:
+            return EXIT_CODES["ok"]
+        return exit_code(self.failures[0]["code"])
+
+    def error(self) -> Optional[Dict[str, Any]]:
+        if self.ok:
+            return None
+        return {
+            "code": self.failures[0]["code"],
+            "exit_code": self.exit_code,
+            "messages": [f["message"] for f in self.failures],
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"ok": self.ok, "kind": self.kind, "data": self.data,
+                "error": self.error()}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True,
+                          default=str)

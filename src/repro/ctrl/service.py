@@ -1,0 +1,180 @@
+"""REST layer: the control plane over plain ``http.server``.
+
+No framework, no new dependency — a :class:`ThreadingHTTPServer` whose
+handlers translate HTTP onto exactly the same RunStore + JobWorker the
+CLI verbs use, so a job submitted over ``POST /jobs`` stores the same
+bytes as one submitted with ``repro job submit``.
+
+Routes::
+
+    GET  /healthz            liveness (store root + worker counters)
+    GET  /experiments        registry: ids, titles, declared params
+    GET  /jobs               every job record (FIFO by id)
+    POST /jobs               submit a JobSpec; 201 + the queued record
+    GET  /jobs/<id>          one job record
+    GET  /jobs/<id>/result   the stored result payload
+    GET  /fleet              latest fleet snapshot (NSM health/
+                             quarantine, per-VM assignment, shard
+                             layout, obs counters) from the running or
+                             most recent job
+
+Responses use the same envelope as ``repro … --json``:
+``{"ok": bool, "kind": …, "data": …, "error": …}``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.ctrl.envelope import Envelope
+from repro.ctrl.fleet import FleetState
+from repro.ctrl.jobs import JobSpec
+from repro.ctrl.store import DEFAULT_STORE, RunStore
+from repro.ctrl.worker import JobWorker
+from repro.errors import JobValidationError, UnknownJobError
+
+#: Default bind address for ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+
+class ControlPlane:
+    """Store + fleet + worker behind one handle (what serve() runs)."""
+
+    def __init__(self, store_root: str = DEFAULT_STORE,
+                 store: Optional[RunStore] = None,
+                 worker: Optional[JobWorker] = None):
+        self.store = store if store is not None else RunStore(store_root)
+        self.fleet = worker.fleet if worker is not None else FleetState()
+        self.worker = worker if worker is not None else JobWorker(
+            self.store, fleet=self.fleet)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request; the ControlPlane hangs off the server."""
+
+    server_version = "repro-ctrl/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(fmt, *args)
+
+    @property
+    def plane(self) -> ControlPlane:
+        return self.server.plane
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _send(self, status: int, envelope: Envelope) -> None:
+        body = envelope.to_json().encode() + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _not_found(self, kind: str, message: str) -> None:
+        self._send(404, Envelope(kind).fail("usage", message))
+
+    # -- GET ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib name
+        path = self.path.rstrip("/").split("?", 1)[0] or "/"
+        if path == "/healthz":
+            self._send(200, Envelope("healthz", {
+                "store": str(self.plane.store.root),
+                "worker": dict(self.plane.worker.counters),
+            }))
+            return
+        if path == "/experiments":
+            from repro.experiments.registry import REGISTRY
+
+            self._send(200, Envelope("experiments", {
+                exp_id: entry.describe()
+                for exp_id, entry in sorted(REGISTRY.items())
+            }))
+            return
+        if path == "/jobs":
+            self._send(200, Envelope("jobs", {
+                "jobs": [job.to_dict()
+                         for job in self.plane.store.list_jobs()],
+            }))
+            return
+        if path == "/fleet":
+            self._send(200, Envelope("fleet", self.plane.fleet.view()))
+            return
+        parts = path.strip("/").split("/")
+        if len(parts) >= 2 and parts[0] == "jobs":
+            job_id = parts[1]
+            try:
+                job = self.plane.store.load_job(job_id)
+            except UnknownJobError as error:
+                self._not_found("job", str(error))
+                return
+            if len(parts) == 2:
+                self._send(200, Envelope("job", job.to_dict()))
+                return
+            if len(parts) == 3 and parts[2] == "result":
+                try:
+                    payload = self.plane.store.load_result(job_id)
+                except UnknownJobError as error:
+                    self._not_found("job-result", str(error))
+                    return
+                self._send(200, Envelope("job-result", payload))
+                return
+        self._not_found("request", f"no route for GET {self.path}")
+
+    # -- POST -----------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib name
+        path = self.path.rstrip("/")
+        if path != "/jobs":
+            self._not_found("request", f"no route for POST {self.path}")
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        try:
+            spec = JobSpec.from_dict(json.loads(raw.decode() or "{}"))
+            job = self.plane.worker.submit(spec)
+        except (json.JSONDecodeError, JobValidationError) as error:
+            self._send(400, Envelope("job").fail("usage", str(error)))
+            return
+        self._send(201, Envelope("job", job.to_dict()))
+
+
+def make_server(plane: ControlPlane, host: str = DEFAULT_HOST,
+                port: int = DEFAULT_PORT) -> ThreadingHTTPServer:
+    """An HTTP server bound to (host, port); port 0 picks a free one."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.plane = plane
+    return server
+
+
+def serve(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+          store_root: str = DEFAULT_STORE,
+          ready_line=None) -> Tuple[ThreadingHTTPServer, ControlPlane]:
+    """Boot the control plane: recover the store, start the worker
+    thread, bind the server, announce readiness.  Blocks in
+    ``serve_forever`` — callers wanting a background server use
+    :func:`make_server` directly (the tests do)."""
+    if ready_line is None:
+        def ready_line(message):
+            print(message, flush=True)
+    plane = ControlPlane(store_root=store_root)
+    plane.worker.start()
+    server = make_server(plane, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    ready_line(f"repro control plane listening on "
+               f"http://{bound_host}:{bound_port} "
+               f"(store={plane.store.root})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+        plane.worker.stop()
+    return server, plane

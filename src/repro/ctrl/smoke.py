@@ -1,0 +1,136 @@
+"""ctrl-smoke: boot ``repro serve``, drive it over real HTTP, verify.
+
+What the CI job runs (``python -m repro.ctrl.smoke``):
+
+1. launch ``python -m repro serve`` as a subprocess on a free port with
+   a fresh RunStore;
+2. ``POST /jobs`` a quick fig08 experiment job, poll ``GET /jobs/<id>``
+   to completion;
+3. assert the stored result equals a direct
+   ``run_experiment("fig8")`` call (same rows, same table);
+4. submit the same job through ``repro job submit`` into a second
+   store and assert the two stored result files are byte-identical —
+   the CLI and the service share one executor, provably.
+
+Exits 0 on success, 1 with a diagnostic on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+SERVE_BOOT_TIMEOUT = 30.0
+JOB_TIMEOUT = 120.0
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return json.loads(response.read().decode())
+
+
+def _post(base: str, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read().decode())
+
+
+def _wait_for_server(base: str, deadline: float) -> None:
+    while time.time() < deadline:
+        try:
+            if _get(base, "/healthz")["ok"]:
+                return
+        except (urllib.error.URLError, ConnectionError, OSError):
+            time.sleep(0.2)
+    raise TimeoutError(f"server at {base} never became healthy")
+
+
+def main() -> int:
+    """Run the smoke sequence from the module docstring; 0 on success."""
+    workdir = Path(tempfile.mkdtemp(prefix="repro-ctrl-smoke-"))
+    http_store = workdir / "store-http"
+    cli_store = workdir / "store-cli"
+    port = _free_port()
+    base = f"http://127.0.0.1:{port}"
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--store", str(http_store)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    try:
+        _wait_for_server(base, time.time() + SERVE_BOOT_TIMEOUT)
+
+        submitted = _post(base, "/jobs", {
+            "kind": "experiment", "experiment": "fig08"})
+        assert submitted["ok"], submitted
+        job_id = submitted["data"]["id"]
+        print(f"submitted {job_id} over POST /jobs")
+
+        deadline = time.time() + JOB_TIMEOUT
+        state = None
+        while time.time() < deadline:
+            state = _get(base, f"/jobs/{job_id}")["data"]["state"]
+            if state in ("done", "failed"):
+                break
+            time.sleep(0.2)
+        if state != "done":
+            print(f"FAIL: job ended in state {state!r}", file=sys.stderr)
+            return 1
+
+        stored = _get(base, f"/jobs/{job_id}/result")["data"]
+        from repro.experiments import ExperimentResult, run_experiment
+
+        direct = run_experiment("fig8")
+        roundtrip = ExperimentResult.from_dict(stored["result"])
+        if roundtrip.table_str() != direct.table_str() \
+                or stored["result"] != direct.to_dict():
+            print("FAIL: stored result != direct run_experiment('fig8')",
+                  file=sys.stderr)
+            return 1
+        print("stored result matches a direct run_experiment call")
+
+        # Same job through the CLI adapter; stored bytes must match.
+        from repro.cli import main as cli_main
+
+        code = cli_main(["job", "submit", "--kind", "experiment",
+                         "--id", "fig08", "--store", str(cli_store),
+                         "--json"])
+        if code != 0:
+            print(f"FAIL: CLI submit exited {code}", file=sys.stderr)
+            return 1
+        http_bytes = (http_store / "results"
+                      / f"{job_id}.json").read_bytes()
+        cli_bytes = (cli_store / "results"
+                     / "job-000001.json").read_bytes()
+        if http_bytes != cli_bytes:
+            print("FAIL: CLI-stored and HTTP-stored results differ",
+                  file=sys.stderr)
+            return 1
+        print("CLI and HTTP stored results are byte-identical")
+        print("ctrl-smoke OK")
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,28 @@ class ConfigurationError(NetKernelError):
     """A host, VM, or NSM was assembled with inconsistent parameters."""
 
 
+class ControlPlaneError(NetKernelError):
+    """Base class for control-plane (repro.ctrl) failures."""
+
+
+class JobValidationError(ControlPlaneError):
+    """A JobSpec names an unknown kind, experiment, or parameter."""
+
+    exit_name = "usage"
+
+
+class UnknownJobError(ControlPlaneError):
+    """A job id does not exist in the RunStore."""
+
+    exit_name = "usage"
+
+
+class JobExecutionError(ControlPlaneError):
+    """A job's executor raised; the worker may retry it."""
+
+    exit_name = "job-failed"
+
+
 class SocketError(NetKernelError):
     """Base class for BSD-socket-level failures; carries an errno name."""
 
@@ -133,6 +155,29 @@ ERRNO_EXCEPTIONS = {
 }
 
 
+#: The single CLI/service exit-code table.  Every ``repro`` subcommand
+#: and the control-plane job runner draw their process exit codes from
+#: here (satellite of ISSUE 7): ``ok`` is success, ``usage`` is a bad
+#: invocation (unknown experiment/parameter/job), and the rest name the
+#: specific check that failed so CI logs are self-describing.
+EXIT_CODES = {
+    "ok": 0,
+    "failure": 1,       # generic runtime failure
+    "usage": 2,         # unknown id / unknown parameter / bad spec
+    "divergence": 3,    # --verify fingerprint mismatch between runs
+    "leak": 4,          # resource leak (hugepages, NQE pool, forwards)
+    "disruption": 5,    # guest-visible resets/timeouts/mismatches
+    "invariant": 6,     # assignment violation / pool imbalance
+    "floor": 7,         # perf floor regression
+    "job-failed": 8,    # control-plane job ended in state "failed"
+}
+
+
+def exit_code(name: str) -> int:
+    """The numeric exit code for a named outcome (1 for unknowns)."""
+    return EXIT_CODES.get(name, EXIT_CODES["failure"])
+
+
 def socket_error_for(errno_name: str, message: str = "") -> SocketError:
     """The typed SocketError for an errno name (generic for unknowns)."""
     cls = ERRNO_EXCEPTIONS.get(errno_name)
@@ -151,6 +196,12 @@ __all__ = [
     "RingEmptyError",
     "HugepageExhaustedError",
     "ConfigurationError",
+    "ControlPlaneError",
+    "JobValidationError",
+    "UnknownJobError",
+    "JobExecutionError",
+    "EXIT_CODES",
+    "exit_code",
     "SocketError",
     "BadFileDescriptorError",
     "AddressInUseError",

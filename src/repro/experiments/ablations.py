@@ -273,3 +273,7 @@ def run_double_stack(sizes=(1024, 4096, 8192, 16384)) -> ExperimentResult:
         ["msg_size", "baseline", "netkernel", "double_stack"], rows,
         notes="processing every byte twice is strictly worse than both "
               "(the paper's §2.2 argument)")
+
+
+# Canonical entry point: every experiment module exposes ``run``.
+run = run_batching

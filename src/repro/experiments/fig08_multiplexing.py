@@ -30,6 +30,10 @@ def run_fig8() -> ExperimentResult:
         rows, notes=notes)
 
 
+# Canonical entry point: every experiment module exposes ``run``.
+run = run_fig8
+
+
 def run_table2(fleet_size: int = 200, seed: int = 7) -> ExperimentResult:
     """AG packing on a 32-core machine.  Paper: 16 -> 29 AGs, >40% cores
     saved, NSM under 60% utilization nearly always."""

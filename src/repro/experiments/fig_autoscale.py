@@ -160,14 +160,16 @@ def max_nsms_seen(report: dict) -> int:
 
 
 def run(seed: int = 0, ticks: int = 14, ce_shards: int = 2,
-        **kwargs) -> ExperimentResult:
+        n_clients: int = 6, n_ags: int = 24,
+        max_nsms: int = 4) -> ExperimentResult:
     """Clean + chaos autoscaling runs; fails on any invariant breach."""
     rows = []
     problems = []
     for label, chaos in (("clean", False), ("nsm-crash", True)):
         result = run_autoscale_scenario(seed=seed, ticks=ticks,
                                         ce_shards=ce_shards, chaos=chaos,
-                                        **kwargs)
+                                        n_clients=n_clients, n_ags=n_ags,
+                                        max_nsms=max_nsms)
         counters = result["autoscaler"]["counters"]
         if result["violations"]:
             problems.append(f"{label}: {result['violations']}")

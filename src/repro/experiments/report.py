@@ -17,6 +17,30 @@ class ExperimentResult:
         self.rows = [list(row) for row in rows]
         self.notes = notes
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-safe form: everything __init__ took, nothing
+        derived.  ``from_dict(to_dict(r))`` preserves ``row_dicts()``
+        and ``table_str()`` exactly, which is what lets results survive
+        the control-plane RunStore round-trip byte-for-byte."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict` (extra keys are rejected so a
+        schema drift shows up as an error, not silent data loss)."""
+        extra = set(data) - {"exp_id", "title", "columns", "rows", "notes"}
+        if extra:
+            raise ValueError(
+                f"unknown ExperimentResult fields: {sorted(extra)}")
+        return cls(data["exp_id"], data["title"], data["columns"],
+                   data["rows"], notes=data.get("notes", ""))
+
     def row_dicts(self) -> List[Dict[str, Any]]:
         return [dict(zip(self.columns, row)) for row in self.rows]
 

@@ -39,3 +39,7 @@ def run_table7() -> ExperimentResult:
     return ExperimentResult(
         "table7", "Normalized CPU usage vs request rate (NetKernel/Baseline)",
         ["krps", "measured", "paper", "vs_paper"], rows, notes=notes)
+
+
+# Canonical entry point: every experiment module exposes ``run``.
+run = run_table6

@@ -120,13 +120,22 @@ def run_chaos(seed: int = 0, plan_name: str = "nsm-crash",
               detection_timeout: float = 10e-3,
               heartbeat_interval: float = 2e-3,
               op_timeout: float = 20e-3,
-              plan: Optional[FaultPlan] = None) -> dict:
+              plan: Optional[FaultPlan] = None,
+              fleet_probe=None,
+              fleet_probe_interval: float = 2e-3) -> dict:
     """One seeded chaos run; returns counters, fingerprint, leak report.
 
     ``plan`` overrides ``plan_name`` when provided (for custom plans).
     The client stops issuing requests at 0.8×duration and the health
     monitor stops at 0.9×duration, so every in-flight element drains
     before the resource-balance checks at the end.
+
+    ``fleet_probe`` (control-plane hook) is called with the live host
+    every ``fleet_probe_interval`` simulated seconds, so ``GET /fleet``
+    can reflect mid-run state (e.g. a quarantined NSM) while the job is
+    still running.  The probe adds scheduler events, so two runs compare
+    fingerprints only against runs with the same probe configuration —
+    ``--verify`` and the CI jobs always use matching settings.
     """
     pool_outstanding_before = NQE_POOL.outstanding
 
@@ -166,6 +175,10 @@ def run_chaos(seed: int = 0, plan_name: str = "nsm-crash",
 
     def stop_traffic():
         stop["flag"] = True
+
+    if fleet_probe is not None:
+        fleet_probe(host)
+        sim.every(fleet_probe_interval, lambda: fleet_probe(host))
 
     sim.call_at(0.8 * duration, stop_traffic)
     # Quiesce heartbeats before the end so in-flight probes drain and the

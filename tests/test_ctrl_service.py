@@ -1,0 +1,210 @@
+"""The control-plane REST door: same core as the CLI, over HTTP.
+
+An in-process ThreadingHTTPServer on an ephemeral port exercises every
+route, the CLI-vs-HTTP byte-identity acceptance bar, and ``GET /fleet``
+reflecting a quarantined NSM while a chaos job runs in the worker
+thread.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.ctrl.service import ControlPlane, make_server
+from repro.ctrl.store import RunStore, canonical_json
+from repro.ctrl.worker import JobWorker
+
+
+@pytest.fixture()
+def plane(tmp_path):
+    return ControlPlane(store=RunStore(tmp_path / "runs"))
+
+
+@pytest.fixture()
+def server(plane):
+    httpd = make_server(plane, port=0)
+    thread = threading.Thread(target=httpd.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    yield httpd
+    httpd.shutdown()
+    httpd.server_close()
+    thread.join(timeout=5)
+
+
+def _request(httpd, method, path, body=None):
+    host, port = httpd.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode())
+    finally:
+        conn.close()
+
+
+class TestRoutes:
+    def test_healthz(self, server, plane):
+        status, envelope = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert envelope["ok"] is True
+        assert envelope["data"]["worker"]["executed"] == 0
+        assert str(plane.store.root) == envelope["data"]["store"]
+
+    def test_experiments_lists_declared_params(self, server):
+        status, envelope = _request(server, "GET", "/experiments")
+        assert status == 200
+        entries = envelope["data"]
+        assert "fig8" in entries and "fig7" in entries
+        assert entries["fig7"]["params"] == {"minutes": 60}
+        assert entries["fig8"]["title"]
+
+    def test_unknown_job_is_404(self, server):
+        status, envelope = _request(server, "GET", "/jobs/job-999999")
+        assert status == 404
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "usage"
+
+    def test_unknown_route_is_404(self, server):
+        status, envelope = _request(server, "GET", "/nope")
+        assert status == 404
+        assert envelope["ok"] is False
+
+    def test_invalid_spec_is_400(self, server, plane):
+        for bad in ({"kind": "frobnicate"},
+                    {"kind": "experiment", "experiment": "fig99"},
+                    {"kind": "chaos", "surprise": 1}):
+            status, envelope = _request(server, "POST", "/jobs", bad)
+            assert status == 400, bad
+            assert envelope["ok"] is False
+            assert envelope["error"]["code"] == "usage"
+        assert plane.store.list_jobs() == []
+
+    def test_fleet_is_empty_before_any_job(self, server):
+        status, envelope = _request(server, "GET", "/fleet")
+        assert status == 200
+        assert envelope["data"] == {"job_id": None, "fleet": None}
+
+
+class TestJobsOverHttp:
+    def test_submit_runs_and_stores_the_experiment(self, server, plane):
+        status, envelope = _request(
+            server, "POST", "/jobs",
+            {"kind": "experiment", "experiment": "fig08"})
+        assert status == 201
+        record = envelope["data"]
+        job_id = record["id"]
+        assert record["state"] == "queued"
+
+        plane.worker.drain()  # execute synchronously, no polling
+
+        status, envelope = _request(server, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        assert envelope["data"]["state"] == "done"
+        assert envelope["data"]["error"] is None
+
+        status, envelope = _request(server, "GET",
+                                    f"/jobs/{job_id}/result")
+        assert status == 200
+        payload = envelope["data"]
+        assert payload["exp_id"] == "fig8"
+
+        from repro.experiments import run_experiment
+
+        direct = run_experiment("fig8")
+        assert payload["result"] == direct.to_dict()
+        # The acceptance bar: stored bytes are canonical.
+        assert plane.store.result_bytes(job_id).decode() \
+            == canonical_json(payload)
+
+        status, envelope = _request(server, "GET", "/jobs")
+        assert [j["id"] for j in envelope["data"]["jobs"]] == [job_id]
+
+    def test_http_and_cli_store_identical_bytes(self, server, plane,
+                                                tmp_path, capsys):
+        """`repro job submit --kind experiment --id fig08` and the same
+        spec over POST /jobs end in byte-identical stored results."""
+        _status, envelope = _request(
+            server, "POST", "/jobs",
+            {"kind": "experiment", "experiment": "fig08"})
+        http_id = envelope["data"]["id"]
+        plane.worker.drain()
+
+        cli_store = tmp_path / "cli-runs"
+        assert cli_main(["job", "submit", "--kind", "experiment",
+                         "--id", "fig08", "--store", str(cli_store)]) == 0
+        capsys.readouterr()
+        assert RunStore(cli_store).result_bytes("job-000001") \
+            == plane.store.result_bytes(http_id)
+
+
+class TestFleetDuringChaos:
+    def test_fleet_reflects_quarantined_nsm(self, server, plane):
+        """While a chaos job (nsm-crash plan) runs in the worker thread,
+        GET /fleet converges on a snapshot showing the crashed NSM
+        quarantined; the snapshot survives job completion."""
+        plane.worker.start()
+        _status, envelope = _request(
+            server, "POST", "/jobs",
+            {"kind": "chaos", "seed": 5,
+             "params": {"plan_name": "nsm-crash", "duration": 0.3}})
+        job_id = envelope["data"]["id"]
+
+        deadline = time.monotonic() + 120
+        quarantined = {}
+        while time.monotonic() < deadline:
+            _status, envelope = _request(server, "GET", "/fleet")
+            view = envelope["data"]
+            if view["job_id"] == job_id and view["fleet"] is not None:
+                quarantined = view["fleet"]["quarantined"]
+                if quarantined:
+                    break
+            time.sleep(0.05)
+        assert quarantined, "no quarantined NSM ever surfaced in /fleet"
+
+        fleet = view["fleet"]
+        nsm_ids = {n["nsm_id"] for n in fleet["nsms"]}
+        assert {int(k) for k in quarantined} <= nsm_ids
+        crashed = [n for n in fleet["nsms"] if n["quarantined"]]
+        assert crashed and not crashed[0]["active"]
+        assert all(vm["nsm_id"] in nsm_ids for vm in fleet["vms"])
+        assert fleet["counters"]["nqes_switched"] > 0
+
+        while time.monotonic() < deadline:
+            _status, envelope = _request(server, "GET",
+                                         f"/jobs/{job_id}")
+            if envelope["data"]["state"] in ("done", "failed"):
+                break
+            time.sleep(0.05)
+        assert envelope["data"]["state"] == "done"
+        result = plane.store.load_result(job_id)
+        assert result["result"]["quarantined"]
+
+
+class TestWorkerThreadMode:
+    def test_start_stop_executes_queued_jobs(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        ran = threading.Event()
+
+        def executor(spec, fleet_probe=None):
+            ran.set()
+            return {"ok": True}
+
+        worker = JobWorker(store, executor=executor).start()
+        from repro.ctrl.jobs import JobSpec
+
+        job = worker.submit(JobSpec("chaos"))
+        assert ran.wait(timeout=10)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if store.load_job(job.job_id).state == "done":
+                break
+            time.sleep(0.02)
+        worker.stop()
+        assert store.load_job(job.job_id).state == "done"

@@ -59,6 +59,56 @@ class TestRegistry:
         with pytest.raises(KeyError):
             run_experiment("fig99")
 
+    @pytest.mark.parametrize("exp_id", sorted(REGISTRY))
+    def test_declared_params_match_runner_signature(self, exp_id):
+        """The declared parameter tuple IS the runner's keyword
+        interface — names, order-insensitively, with a default for
+        every one — so the declarations can never drift from the code."""
+        import inspect
+
+        entry = REGISTRY[exp_id]
+        runner = entry.resolve()
+        signature = inspect.signature(runner)
+        accepted = {
+            name for name, parameter in signature.parameters.items()
+            if parameter.kind in (parameter.POSITIONAL_OR_KEYWORD,
+                                  parameter.KEYWORD_ONLY)
+        }
+        assert set(entry.params) == accepted, (
+            f"{exp_id}: declared {sorted(entry.params)} but "
+            f"{entry.module}.{entry.fn} accepts {sorted(accepted)}")
+        defaults = entry.param_defaults()
+        assert set(defaults) == set(entry.params), (
+            f"{exp_id}: every declared parameter needs a default")
+
+    @pytest.mark.parametrize("exp_id", sorted(REGISTRY))
+    def test_every_registry_module_exposes_canonical_run(self, exp_id):
+        import importlib
+
+        entry = REGISTRY[exp_id]
+        module = importlib.import_module(
+            f"repro.experiments.{entry.module}")
+        assert callable(getattr(module, "run")), (
+            f"repro.experiments.{entry.module} has no canonical run()")
+
+    def test_canonical_id_aliases(self):
+        from repro.experiments.registry import canonical_id
+
+        assert canonical_id("fig08") == "fig8"
+        assert canonical_id("FIG08") == "fig8"
+        assert canonical_id("table02") == "table2"
+        assert canonical_id("fig13") == "fig13"
+        assert canonical_id("fig-migration") == "fig-migration"
+        assert canonical_id("fig99") == "fig99"  # unknown: unchanged
+
+    def test_unknown_kwargs_rejected_with_declared_interface(self):
+        from repro.errors import JobValidationError
+
+        with pytest.raises(JobValidationError) as excinfo:
+            run_experiment("fig7", minutess=3)
+        assert "minutess" in str(excinfo.value)
+        assert "minutes" in str(excinfo.value)
+
 
 @pytest.mark.parametrize("exp_id", ANALYTIC_EXPERIMENTS)
 def test_analytic_experiment_runs(exp_id):

@@ -148,7 +148,11 @@ class TestChaosCli:
         code = main(["chaos", "--seed", "5", "--plan", "nsm-stall",
                      "--duration", "0.2", "--json"])
         assert code == 0
-        payload = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        assert envelope["kind"] == "chaos"
+        assert envelope["error"] is None
+        payload = envelope["data"]["result"]
         assert payload["plan"]["name"] == "nsm-stall"
         assert payload["leaks"] == []
         assert len(payload["switch_fingerprint"]) == 64

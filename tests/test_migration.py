@@ -249,7 +249,11 @@ class TestMigrateCli:
         code = main(["migrate", "--seed", "5", "--streams", "4",
                      "--duration", "0.08", "--json"])
         assert code == 0
-        payload = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        assert envelope["kind"] == "migrate"
+        assert envelope["error"] is None
+        payload = envelope["data"]["result"]
         assert payload["migration"]["sockets_moved"] == 4
         assert payload["counters"]["resets"] == 0
         assert payload["leaks"] == []

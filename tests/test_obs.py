@@ -251,7 +251,9 @@ class TestStatsCli:
     def test_stats_json(self, capsys):
         from repro.cli import main
         assert main(["stats", "--json", "--bytes", "32768"]) == 0
-        report = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True and envelope["kind"] == "stats"
+        report = envelope["data"]
         assert [s["stage"] for s in report["stages"]] == list(HOP_STAGES)
         assert all(s["count"] > 0 for s in report["stages"])
         assert report["token_buckets"]

@@ -1,0 +1,86 @@
+"""Property test: ``ExperimentResult.from_dict(to_dict(r))`` is
+lossless — ``row_dicts()`` and ``table_str()`` survive exactly, through
+JSON too.  This is what lets a stored control-plane result reproduce
+the table a direct ``repro run`` would have printed, byte for byte.
+"""
+
+import json
+import random
+import string
+
+import pytest
+
+from repro.experiments.report import ExperimentResult
+
+
+def _random_result(rng: random.Random) -> ExperimentResult:
+    """A randomized but JSON-representable result: mixed cell types,
+    odd identifiers, floats across the formatter's branch points."""
+    n_cols = rng.randint(1, 6)
+    n_rows = rng.randint(0, 8)
+    columns = [
+        "".join(rng.choices(string.ascii_lowercase + "_", k=rng.randint(1, 10)))
+        for _ in range(n_cols)
+    ]
+
+    def cell():
+        kind = rng.randrange(5)
+        if kind == 0:
+            return rng.randint(-10**6, 10**6)
+        if kind == 1:
+            # Floats spanning the table formatter's thresholds
+            # (0, <10, <1000, >=1000) and negative values.
+            return rng.choice([0.0, -0.0, 1.0]) * rng.random() \
+                * 10 ** rng.randint(-3, 6)
+        if kind == 2:
+            return "".join(rng.choices(string.printable.strip(), k=rng.randint(0, 12)))
+        if kind == 3:
+            return None
+        return rng.choice([True, False])
+
+    rows = [[cell() for _ in range(n_cols)] for _ in range(n_rows)]
+    notes = "paper says so" if rng.random() < 0.5 else ""
+    return ExperimentResult(
+        exp_id=f"fig{rng.randint(0, 99)}", title="randomized Δ check",
+        columns=columns, rows=rows, notes=notes)
+
+
+def _assert_lossless(result: ExperimentResult) -> None:
+    clone = ExperimentResult.from_dict(result.to_dict())
+    assert clone.row_dicts() == result.row_dicts()
+    assert clone.table_str() == result.table_str()
+    assert clone.to_dict() == result.to_dict()
+    # And through an actual JSON hop, as the RunStore persists it.
+    rehydrated = ExperimentResult.from_dict(
+        json.loads(json.dumps(result.to_dict())))
+    assert rehydrated.table_str() == result.table_str()
+
+
+class TestRoundTripProperty:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_randomized_results_round_trip(self, seed):
+        rng = random.Random(seed)
+        for _ in range(8):
+            _assert_lossless(_random_result(rng))
+
+    def test_empty_and_edge_cases(self):
+        _assert_lossless(ExperimentResult("e", "", ["only"], []))
+        _assert_lossless(ExperimentResult(
+            "e", "t", ["a", "b"],
+            [[float("1e-12"), 999.9994], [1234567.0, -0.0005]],
+            notes="n"))
+
+    @pytest.mark.parametrize("exp_id,kwargs", [
+        ("fig7", {"minutes": 3}),
+        ("fig8", {}),
+    ])
+    def test_real_experiments_round_trip(self, exp_id, kwargs):
+        from repro.experiments import run_experiment
+
+        _assert_lossless(run_experiment(exp_id, **kwargs))
+
+    def test_from_dict_rejects_unknown_fields(self):
+        blob = ExperimentResult("e", "t", ["c"], [[1]]).to_dict()
+        blob["sneaky"] = True
+        with pytest.raises(ValueError, match="sneaky"):
+            ExperimentResult.from_dict(blob)

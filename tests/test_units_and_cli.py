@@ -65,7 +65,40 @@ class TestCli:
         assert "144" in out  # the 8KB calibration anchor
 
     def test_run_unknown(self, capsys):
-        assert cli_main(["run", "fig99"]) == 1
+        # Bad invocations exit with the "usage" row of the errors table.
+        assert cli_main(["run", "fig99"]) == errors.EXIT_CODES["usage"]
+
+    def test_run_accepts_zero_padded_alias(self, capsys):
+        assert cli_main(["run", "fig08"]) == 0
+        assert "fig8" in capsys.readouterr().out
+
+    def test_json_envelope_shape(self, capsys):
+        import json
+
+        assert cli_main(["calibration", "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert set(envelope) == {"ok", "kind", "data", "error"}
+        assert envelope["ok"] is True
+        assert envelope["kind"] == "calibration"
+        assert envelope["error"] is None
+        assert "core_hz" in envelope["data"]
+
+    def test_json_envelope_failure(self, capsys):
+        import json
+
+        code = cli_main(["run", "fig99", "--json"])
+        assert code == errors.EXIT_CODES["usage"]
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "usage"
+        assert envelope["error"]["exit_code"] == code
+
+    def test_exit_code_table(self):
+        assert errors.EXIT_CODES["ok"] == 0
+        assert errors.exit_code("nonsense") == errors.EXIT_CODES["failure"]
+        # Every named outcome is distinct, so CI logs are unambiguous.
+        values = list(errors.EXIT_CODES.values())
+        assert len(values) == len(set(values))
 
     def test_calibration_dump(self, capsys):
         assert cli_main(["calibration"]) == 0
