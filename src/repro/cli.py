@@ -213,13 +213,14 @@ def _cmd_stats(as_json: bool, transfer_bytes: int) -> int:
 
 
 def _cmd_bench(names: List[str], quick: bool, out_dir: str,
-               floors_path: str, as_json: bool) -> int:
+               floors_path: str, as_json: bool, profile_top: int = 0) -> int:
     from repro.perf import check_floors, write_results
 
     env = Envelope("bench")
     try:
         payload = execute_job(JobSpec("bench", params={
-            "names": names or None, "quick": quick}))
+            "names": names or None, "quick": quick,
+            "profile_top": profile_top}))
     except KeyError as error:
         env.fail("usage", error.args[0])
         return _finish(env, as_json)
@@ -231,9 +232,14 @@ def _cmd_bench(names: List[str], quick: bool, out_dir: str,
                     f"events={result['events']} "
                     f"peak_rss={result['peak_rss']}KiB")
             if "speedup_vs_full" in result:
-                line += (f" speedup={result['speedup_vs_full']:.2f}x "
-                         f"identical={result['fingerprint_match']}")
+                line += f" speedup={result['speedup_vs_full']:.2f}x"
+            if "speedup_vs_scalar" in result:
+                line += f" vec={result['speedup_vs_scalar']:.2f}x"
+            if "fingerprint_match" in result:
+                line += f" identical={result['fingerprint_match']}"
             print(line)
+            if result.get("profile"):
+                print(result["profile"])
     if out_dir:
         for path in write_results(results, out_dir):
             env.data["written"].append(path)
@@ -523,6 +529,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench", help="run wall-clock performance benchmarks"))
     bench_parser.add_argument("names", nargs="*",
                               help="benchmark names (default: all)")
+    bench_parser.add_argument("--profile", type=int, default=0,
+                              metavar="N", dest="profile_top",
+                              help="cProfile each benchmark and print the "
+                                   "top N functions by cumulative time")
     bench_parser.add_argument("--quick", action="store_true",
                               help="shrink workloads for CI smoke runs")
     bench_parser.add_argument("--out", default="",
@@ -630,7 +640,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_stats(args.json, args.bytes)
         if args.command == "bench":
             return _cmd_bench(args.names, args.quick, args.out,
-                              args.floors, args.json)
+                              args.floors, args.json, args.profile_top)
         if args.command == "chaos":
             return _cmd_chaos(args.seed, args.plan, args.duration,
                               args.detection_timeout,

@@ -465,7 +465,9 @@ class GuestLib:
                     raise socket_error_for(sock.errno)
                 yield self.sim.timeout(10e-6)  # region full: retry shortly
                 buffer = self.hugepages.try_alloc(len(chunk))
-            buffer.write(bytes(chunk))
+            # The view goes straight to the buffer: HugepageBuffer.write
+            # materializes it — the single charged guest-boundary copy.
+            buffer.write(chunk)
             yield core.execute(self.cost.hugepage_copy_cycles(len(chunk)),
                                "guestlib.send_copy")
             nqe = NQE_POOL.acquire(
@@ -498,7 +500,7 @@ class GuestLib:
                 raise socket_error_for(sock.errno)
             yield self.sim.timeout(10e-6)
             buffer = self.hugepages.try_alloc(len(data))
-        buffer.write(bytes(data))
+        buffer.write(data)
         yield core.execute(self.cost.hugepage_copy_cycles(len(data)),
                            "guestlib.send_copy")
         nqe = NQE_POOL.acquire(
@@ -568,18 +570,42 @@ class GuestLib:
         return data
 
     def _take_rx(self, sock: NetKernelSocket, max_bytes: int) -> bytes:
+        chunks = sock.rx_chunks
+        if not chunks or max_bytes <= 0:
+            return b""
+        data, offset = chunks[0]
+        avail = len(data) - offset
+        if avail >= max_bytes or len(chunks) == 1:
+            # One chunk satisfies the read: hand it back whole (zero-copy)
+            # or slice it exactly once.
+            take = min(avail, max_bytes)
+            if offset == 0 and take == avail:
+                chunks.popleft()
+                out = data
+            else:
+                out = data[offset:offset + take]
+                if offset + take >= len(data):
+                    chunks.popleft()
+                else:
+                    chunks[0][1] = offset + take
+            sock.rx_ready_bytes -= take
+            sock.bytes_received += take
+            sock.rx_consumed_uncredited += take
+            return out
+        # Read spans chunks: gather with one join.
         out = bytearray()
-        while sock.rx_chunks and len(out) < max_bytes:
-            chunk = sock.rx_chunks[0]
+        while chunks and len(out) < max_bytes:
+            chunk = chunks[0]
             data, offset = chunk
             take = min(len(data) - offset, max_bytes - len(out))
             out.extend(data[offset:offset + take])
             chunk[1] += take
             if chunk[1] >= len(data):
-                sock.rx_chunks.popleft()
-        sock.rx_ready_bytes -= len(out)
-        sock.bytes_received += len(out)
-        sock.rx_consumed_uncredited += len(out)
+                chunks.popleft()
+        taken = len(out)
+        sock.rx_ready_bytes -= taken
+        sock.bytes_received += taken
+        sock.rx_consumed_uncredited += taken
         return bytes(out)
 
     def _maybe_send_credit(self, sock: NetKernelSocket, consumed: int):
@@ -722,15 +748,19 @@ class GuestLib:
         qs = self.device.queue_sets[qset_index]
         core = self._core_for(qset_index)
         control_ring, data_ring = self.device.consume_rings(qs)
+        # Reusable drain scratch: steady-state passes allocate no lists.
+        scratch: List[Optional[Nqe]] = []
         while True:
-            batch = control_ring.pop_batch(64, owner=self)
-            batch.extend(data_ring.pop_batch(64, owner=self))
-            if not batch:
+            n = control_ring.drain_into(scratch, 64, owner=self)
+            n += data_ring.drain_into(scratch, 64, owner=self, start=n)
+            if not n:
                 yield self.device.wait_for_inbound()
                 continue
-            cycles = len(batch) * self.cost.guestlib_nqe_complete
+            cycles = n * self.cost.guestlib_nqe_complete
             yield core.execute(cycles, "guestlib.dispatch")
-            for nqe in batch:
+            for i in range(n):
+                nqe = scratch[i]
+                scratch[i] = None
                 self.nqes_received += 1
                 if self.obs is not None:
                     self.obs.on_guest_deliver(nqe)

@@ -22,6 +22,7 @@ from repro.core.queues import QueueSet
 from repro.errors import ConfigurationError
 from repro.mem.hugepages import HugepageRegion
 from repro.mem.ring import SpscRing
+from repro.sim.event import Event, PENDING as EVENT_PENDING
 
 ROLE_VM = "vm"
 ROLE_NSM = "nsm"
@@ -96,17 +97,28 @@ class NKDevice:
             self.doorbell(self)
 
     def wake(self) -> None:
-        """CoreEngine delivered inbound NQEs: wake a sleeping consumer."""
+        """CoreEngine delivered inbound NQEs: wake a sleeping consumer.
+
+        Fires only when a consumer is actually parked on the wake event:
+        a process registers its resume callback in the same step that it
+        yields (check-rings-then-wait is atomic in the cooperative sim),
+        so ``callbacks`` is empty exactly when nobody is waiting and a
+        succeed would only queue a ghost event nobody observes.  Batched
+        deliveries used to queue one such ghost per NQE after the first —
+        pure event-loop churn, skipped identically in vectorized and
+        scalar switching so the A/B timelines stay bit-identical.
+        """
         if self._poll_started_at is not None:
-            elapsed = self.sim.now - self._poll_started_at
+            elapsed = self.sim._now - self._poll_started_at
             if elapsed <= self.poll_window_sec:
                 self.wakeups_polled += 1
             else:
                 self.wakeups_interrupt += 1
             self._poll_started_at = None
-        if not self._wake_event.triggered:
-            self._wake_event.succeed()
-            self._wake_event = self.sim.event()
+        event = self._wake_event
+        if event.callbacks and event._state == EVENT_PENDING:
+            event.succeed()
+            self._wake_event = Event(self.sim)
 
     def wait_for_inbound(self):
         """Event to yield on when every consume ring is empty.
@@ -120,25 +132,49 @@ class NKDevice:
     # -- bulk access ------------------------------------------------------------------
 
     def consume_pending(self) -> bool:
-        return any(
-            len(ring) for qs in self.queue_sets
-            for ring in self.consume_rings(qs))
+        vm = self.role == ROLE_VM
+        for qs in self.queue_sets:
+            if vm:
+                if qs.completion._count or qs.receive._count:
+                    return True
+            elif qs.job._count or qs.send._count:
+                return True
+        return False
 
     def produce_pending(self) -> bool:
-        return any(
-            len(ring) for qs in self.queue_sets
-            for ring in self.produce_rings(qs))
+        # Checked once per serviced device by the ready-set scheduler, so
+        # the ring directions are inlined instead of built as tuples.
+        vm = self.role == ROLE_VM
+        for qs in self.queue_sets:
+            if vm:
+                if qs.job._count or qs.send._count:
+                    return True
+            elif qs.completion._count or qs.receive._count:
+                return True
+        return False
 
     def drain_consume(self, max_items: int, consumer: object) -> List[Nqe]:
         """Pop up to ``max_items`` NQEs across this owner's consume rings."""
         batch: List[Nqe] = []
+        n = self.drain_consume_into(batch, max_items, consumer)
+        del batch[n:]
+        return batch
+
+    def drain_consume_into(self, buf: List[Nqe], max_items: int,
+                           consumer: object) -> int:
+        """Allocation-free :meth:`drain_consume`: fill ``buf[0:n]``, return n.
+
+        ``buf`` is a caller-owned scratch list reused across passes
+        (grown on demand, never shrunk); slots past ``n`` are stale.
+        """
+        filled = 0
         for qs in self.queue_sets:
             for ring in self.consume_rings(qs):
-                if len(batch) >= max_items:
-                    return batch
-                batch.extend(ring.pop_batch(max_items - len(batch),
-                                            owner=consumer))
-        return batch
+                if filled >= max_items:
+                    return filled
+                filled += ring.drain_into(buf, max_items - filled,
+                                          owner=consumer, start=filled)
+        return filled
 
     def ring_depths(self) -> dict:
         """Current and peak occupancy per ring, for obs samplers."""

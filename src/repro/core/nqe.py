@@ -97,7 +97,10 @@ class Nqe:
                 aux: Any = None, created_at: float = 0.0) -> "Nqe":
         """(Re)initialize every field — shared by __init__ and the pool,
         so a recycled element is indistinguishable from a fresh one."""
-        self.op = NqeOp(op)
+        # ``NqeOp.__call__`` is surprisingly expensive and acquire() sits on
+        # the switching hot path; skip the conversion when ``op`` is already
+        # an enum member (the overwhelmingly common case).
+        self.op = op if type(op) is NqeOp else NqeOp(op)
         self.vm_id = vm_id
         self.queue_set_id = queue_set_id
         self.socket_id = socket_id
@@ -122,12 +125,19 @@ class Nqe:
 
     @classmethod
     def unpack(cls, raw: bytes) -> "Nqe":
-        """Decode a 32-byte element (token/aux are sim-side metadata)."""
+        """Decode a 32-byte element (token/aux are sim-side metadata).
+
+        The token is *not* part of the wire format, so a decoded element
+        draws a fresh one.  (It used to be hardcoded to 0 — but ``_tokens``
+        is shared and starts at 1, so a 0 token was not reserved and an
+        unpacked element could shadow a live request's correlation token in
+        any map keyed by token.)
+        """
         if len(raw) != NQE_SIZE:
             raise ValueError(f"NQE must be {NQE_SIZE} bytes, got {len(raw)}")
         op, vm_id, qset, sock, op_data, data_ptr, size = _STRUCT.unpack(raw)
         return cls(NqeOp(op), vm_id, qset, sock, op_data, data_ptr, size,
-                   token=0)
+                   token=None)
 
     def response(self, op: NqeOp, op_data: int = 0, data_ptr: int = 0,
                  size: int = 0, aux: Any = None) -> "Nqe":

@@ -199,18 +199,22 @@ class ServiceLib:
         qs = self.device.queue_sets[qset_index]
         core = self.cores[qset_index % len(self.cores)]
         job_ring, send_ring = self.device.consume_rings(qs)
+        # Reusable drain scratch: steady-state passes allocate no lists.
+        scratch: list = []
         while not self.crashed:
             if self._stall_until > self.sim.now:
                 yield self.sim.timeout(self._stall_until - self.sim.now)
                 continue
-            batch = job_ring.pop_batch(32, owner=self)
-            batch.extend(send_ring.pop_batch(32, owner=self))
-            if not batch:
+            n = job_ring.drain_into(scratch, 32, owner=self)
+            n += send_ring.drain_into(scratch, 32, owner=self, start=n)
+            if not n:
                 yield self.device.wait_for_inbound()
                 continue
-            cycles = len(batch) * self.cost.servicelib_nqe_dispatch
+            cycles = n * self.cost.servicelib_nqe_dispatch
             yield core.execute(cycles, "servicelib.dispatch")
-            for nqe in batch:
+            for i in range(n):
+                nqe = scratch[i]
+                scratch[i] = None
                 if self.crashed:
                     # Crash landed mid-batch: drop the rest unprocessed.
                     self._discard(nqe)

@@ -47,11 +47,47 @@ from repro.cpu.core import Core
 from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.errors import ConfigurationError
 from repro.mem.hugepages import HugepageRegion
+from repro.mem.ring import SpscRing
+
+#: Handoff triples drained per scratch refill in _pre_pass (a multiple
+#: of 3: the inbox ring stores flattened ring/nqe/device slots).
+_HANDOFF_DRAIN = 96
+
+
+class _HandoffInbox:
+    """Cross-shard handoff inbox: a slab-backed ring of flattened
+    (ring, nqe, device) triples, with an unbounded spill deque behind it.
+
+    The simulator is single-threaded, so the producing end is logically
+    "any peer shard mid-pass" and the consuming end is the home shard's
+    ``_pre_pass`` — the SPSC claim discipline is deliberately bypassed
+    (owner=None) and documented here instead.  FIFO across the ring/spill
+    boundary holds because once a push spills, *every* later push spills
+    too until the consumer has fully drained the spill; only then does
+    the (by now empty) ring start filling again.
+    """
+
+    __slots__ = ("ring", "spill")
+
+    def __init__(self, name: str, slots: int):
+        self.ring = SpscRing(max(slots, 64) * 3, name=name)
+        self.spill = deque()
+
+    def push(self, ring, nqe, device) -> None:
+        r = self.ring
+        if self.spill or r.capacity - r._count < 3:
+            self.spill.append((ring, nqe, device))
+            return
+        r.try_push(ring)
+        r.try_push(nqe)
+        r.try_push(device)
 
 
 class _ShardEngine(CoreEngine):
     """One shard: a CoreEngine that shares its control plane with its
     cluster and hands off NQEs bound for devices homed elsewhere."""
+
+    _HAS_PRE_PASS = True  # the handoff-inbox drain must run every pass
 
     def __init__(self, sim, core: Core, shard_index: int,
                  cluster: "ShardedCoreEngine", **kwargs):
@@ -59,7 +95,11 @@ class _ShardEngine(CoreEngine):
         self.cluster = cluster
         #: Cross-shard handoff inbox: (ring, nqe, target_device) triples
         #: pushed by peer shards, drained at the top of the next pass.
-        self._inbound = deque()
+        self._inbound = _HandoffInbox(
+            f"shard{shard_index}.handoff",
+            kwargs.get("ring_slots", 4096))
+        #: Reusable drain scratch for the inbox (never reallocated).
+        self._handoff_scratch: list = []
         self.handoffs_in = 0
         self.handoffs_out = 0
         super().__init__(sim, core, **kwargs)
@@ -89,23 +129,49 @@ class _ShardEngine(CoreEngine):
         home = self._home_of(target_device)
         if home is not self:
             self.handoffs_out += 1
-            home._inbound.append((ring, nqe, target_device))
+            home._inbound.push(ring, nqe, target_device)
             home._kick_inbound()
             return
         yield from CoreEngine._deliver(self, ring, nqe, target_device)
 
+    def _deliver_fast(self, ring, nqe, target_device: NKDevice) -> bool:
+        """Vectorized delivery: a cross-shard handoff is synchronous by
+        construction (push + doorbell, no yields), so it is always fast."""
+        home = self._home_of(target_device)
+        if home is not self:
+            self.handoffs_out += 1
+            home._inbound.push(ring, nqe, target_device)
+            home._kick_inbound()
+            return True
+        return CoreEngine._deliver_fast(self, ring, nqe, target_device)
+
     def _pre_pass(self):
-        while self._inbound:
-            ring, nqe, device = self._inbound.popleft()
+        inbox = self._inbound
+        ring = inbox.ring
+        spill = inbox.spill
+        scratch = self._handoff_scratch
+        while ring._count or spill:
+            n = ring.drain_into(scratch, _HANDOFF_DRAIN)
+            if n:
+                for i in range(0, n, 3):
+                    dring = scratch[i]
+                    nqe = scratch[i + 1]
+                    device = scratch[i + 2]
+                    scratch[i] = scratch[i + 1] = scratch[i + 2] = None
+                    self.handoffs_in += 1
+                    if not self._deliver_fast(dring, nqe, device):
+                        yield from CoreEngine._deliver(self, dring, nqe,
+                                                       device)
+                continue
+            dring, nqe, device = spill.popleft()
             self.handoffs_in += 1
-            yield from CoreEngine._deliver(self, ring, nqe, device)
+            if not self._deliver_fast(dring, nqe, device):
+                yield from CoreEngine._deliver(self, dring, nqe, device)
 
     def _kick_inbound(self) -> None:
         """Wake this shard's switching loop without marking any device
         ready — the work sits in the inbound queue, not in a ring."""
-        if not self._doorbell.triggered:
-            self._doorbell.succeed()
-            self._doorbell = self.sim.event()
+        self._wake_switch()
 
     def _push_to_vm(self, nqe, event: bool) -> None:
         # Failover/fail-fast deliveries are synchronous; route them to
@@ -151,7 +217,8 @@ class ShardedCoreEngine:
     def __init__(self, sim, cores: List[Core],
                  cost_model: CostModel = DEFAULT_COST_MODEL,
                  batch_size: int = 4, ring_slots: int = 4096,
-                 scan: Optional[str] = None):
+                 scan: Optional[str] = None,
+                 vectorized: Optional[bool] = None):
         if not cores:
             raise ConfigurationError("need at least one shard core")
         scan = DEFAULT_SCAN_MODE if scan is None else scan
@@ -164,9 +231,10 @@ class ShardedCoreEngine:
         self.shards: List[_ShardEngine] = [
             _ShardEngine(sim, core, index, self, cost_model=cost_model,
                          batch_size=batch_size, ring_slots=ring_slots,
-                         scan=scan)
+                         scan=scan, vectorized=vectorized)
             for index, core in enumerate(cores)
         ]
+        self.vectorized = self.shards[0].vectorized
         # Control plane: shard 0's objects become the host-global ones.
         first = self.shards[0]
         self.table = first.table
@@ -422,9 +490,11 @@ class ShardedCoreEngine:
             "sched.mode": self.scan,
             "connections": len(self.table),
         }
+        out["sched.vectorized"] = self.vectorized
         numeric = [k for k in per_shard[0]
                    if isinstance(per_shard[0][k], (int, float))
-                   and k not in ("avg_batch", "connections")]
+                   and k not in ("avg_batch", "connections",
+                                 "sched.vectorized")]
         for key in numeric:
             out[key] = sum(stats[key] for stats in per_shard)
         out["avg_batch"] = (out["nqes_switched"] / out["batches"]

@@ -12,7 +12,7 @@ from collections import defaultdict
 from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.errors import ResourceError
-from repro.sim.event import Event
+from repro.sim.event import Event, Timeout
 from repro.units import PAPER_CORE_HZ
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -44,10 +44,10 @@ class Core:
             raise ResourceError(f"negative work: {cycles}")
         self.busy_cycles += cycles
         self.busy_by_component[component] += cycles
-        start = max(self.sim.now, self._free_at)
-        duration = cycles / self.hz
-        self._free_at = start + duration
-        return self.sim.timeout(self._free_at - self.sim.now)
+        now = self.sim._now
+        start = self._free_at if self._free_at > now else now
+        self._free_at = start + cycles / self.hz
+        return Timeout(self.sim, self._free_at - now)
 
     def charge(self, cycles: float, component: str = "unattributed") -> None:
         """Account cycles without modelling their latency.

@@ -45,7 +45,8 @@ def execute_job(spec: JobSpec,
         from repro.perf import run_benchmarks
 
         results = run_benchmarks(params.get("names") or None,
-                                 quick=bool(params.get("quick", False)))
+                                 quick=bool(params.get("quick", False)),
+                                 profile_top=int(params.get("profile_top", 0)))
         return {"kind": "bench", "params": params, "results": results}
     if spec.kind == "chaos":
         from repro.faults.chaos import run_chaos

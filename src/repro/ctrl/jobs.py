@@ -37,7 +37,7 @@ STATES = (QUEUED, RUNNING, DONE, FAILED)
 #: per-entry in repro.experiments.registry.
 KIND_PARAMS: Dict[str, tuple] = {
     "experiment": (),  # resolved via the registry entry
-    "bench": ("names", "quick"),
+    "bench": ("names", "quick", "profile_top"),
     "chaos": ("seed", "plan_name", "duration", "detection_timeout",
               "heartbeat_interval", "op_timeout"),
     "migrate": ("seed", "streams", "duration", "migrate_at",

@@ -35,7 +35,14 @@ class HugepageBuffer:
         self.freed = False
 
     def write(self, data: bytes) -> None:
-        """Copy application bytes into the buffer (GuestLib's copy-in)."""
+        """Copy application bytes into the buffer (GuestLib's copy-in).
+
+        Accepts any bytes-like object.  ``bytes(data)`` materializes a
+        memoryview in one copy — this is the single charged copy at the
+        guest boundary — and *adopts* an immutable ``bytes`` object
+        without copying (CPython returns it as-is), which is what makes
+        the zero-copy hand-off chain through the datapath hold.
+        """
         if self.freed:
             raise ResourceError(f"write to freed buffer {self.buffer_id}")
         if len(data) > self.size:

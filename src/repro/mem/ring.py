@@ -33,6 +33,11 @@ class SpscRing:
         self.consumed = 0
         self.full_rejections = 0
         self.peak_depth = 0
+        #: Drains that built a fresh list (``pop_batch``).  The vectorized
+        #: datapath drains through ``drain_into`` instead, which reuses a
+        #: caller-owned scratch list; perf smoke asserts this counter stays
+        #: flat across steady-state switching.
+        self.list_allocs = 0
 
     # -- ownership -----------------------------------------------------------
 
@@ -54,13 +59,10 @@ class SpscRing:
             )
         self._consumer = owner
 
-    def _check_producer(self, owner: Optional[object]) -> None:
-        if owner is not None:
-            self.claim_producer(owner)
-
-    def _check_consumer(self, owner: Optional[object]) -> None:
-        if owner is not None:
-            self.claim_consumer(owner)
+    # Ownership checks are inlined at each call site as
+    # ``if owner is not None and self._producer is not owner:`` — the
+    # steady-state claim (same owner every call) costs one identity
+    # compare and no function call, which matters at switching rates.
 
     # -- state ----------------------------------------------------------------
 
@@ -83,16 +85,21 @@ class SpscRing:
 
     def try_push(self, item: Any, owner: Optional[object] = None) -> bool:
         """Push one item; returns False (and counts a rejection) if full."""
-        self._check_producer(owner)
-        if self.full:
+        if owner is not None and self._producer is not owner:
+            self.claim_producer(owner)
+        count = self._count
+        if count == self.capacity:
             self.full_rejections += 1
             return False
-        self._slots[self._tail] = item
-        self._tail = (self._tail + 1) % self.capacity
-        self._count += 1
+        tail = self._tail
+        self._slots[tail] = item
+        tail += 1
+        self._tail = 0 if tail == self.capacity else tail
+        count += 1
+        self._count = count
         self.produced += 1
-        if self._count > self.peak_depth:
-            self.peak_depth = self._count
+        if count > self.peak_depth:
+            self.peak_depth = count
         return True
 
     def push(self, item: Any, owner: Optional[object] = None) -> None:
@@ -100,66 +107,90 @@ class SpscRing:
         if not self.try_push(item, owner):
             raise RingFullError(f"{self.name} is full ({self.capacity})")
 
-    def push_batch(self, items, owner: Optional[object] = None) -> int:
+    def push_batch(self, items, owner: Optional[object] = None,
+                   count: Optional[int] = None) -> int:
         """Push as many of ``items`` as fit; returns how many were pushed.
 
         One ownership check covers the whole batch — the producer cannot
         change mid-call under the SPSC discipline.
+
+        ``count`` pushes only ``items[:count]`` without materializing the
+        slice: pass a reusable scratch list plus the valid-prefix length
+        and the call is iterator-free and allocation-free (the vectorized
+        producer fast path).
         """
-        self._check_producer(owner)
-        pushed = 0
-        count = self._count
+        if owner is not None and self._producer is not owner:
+            self.claim_producer(owner)
+        n = len(items) if count is None else count
+        depth = self._count
+        free = self.capacity - depth
+        if n > free:
+            # One rejection per overflowing batch, matching the scalar
+            # loop's behaviour of counting the first refused element.
+            self.full_rejections += 1
+            n = free
+        if n <= 0:
+            return 0
         capacity = self.capacity
         tail = self._tail
         slots = self._slots
-        for item in items:
-            if count == capacity:
-                self.full_rejections += 1
-                break
-            slots[tail] = item
-            tail = (tail + 1) % capacity
-            count += 1
-            pushed += 1
+        for i in range(n):
+            slots[tail] = items[i]
+            tail += 1
+            if tail == capacity:
+                tail = 0
         self._tail = tail
-        self._count = count
-        self.produced += pushed
-        if count > self.peak_depth:
-            self.peak_depth = count
-        return pushed
+        depth += n
+        self._count = depth
+        self.produced += n
+        if depth > self.peak_depth:
+            self.peak_depth = depth
+        return n
 
     # -- consume -----------------------------------------------------------------
 
     def try_pop(self, owner: Optional[object] = None) -> Any:
         """Pop the oldest item, or return None when empty."""
-        self._check_consumer(owner)
-        if self.empty:
+        if owner is not None and self._consumer is not owner:
+            self.claim_consumer(owner)
+        if self._count == 0:
             return None
-        item = self._slots[self._head]
-        self._slots[self._head] = None
-        self._head = (self._head + 1) % self.capacity
+        head = self._head
+        slots = self._slots
+        item = slots[head]
+        slots[head] = None
+        self._head = head + 1 if head + 1 < self.capacity else 0
         self._count -= 1
         self.consumed += 1
         return item
 
     def pop(self, owner: Optional[object] = None) -> Any:
-        """Pop the oldest item; raises :class:`RingEmptyError` when empty."""
-        self._check_consumer(owner)
-        if self.empty:
+        """Pop the oldest item; raises :class:`RingEmptyError` when empty.
+
+        A single emptiness/ownership check: ``try_pop`` does the work and
+        ``None`` (never a valid queued element) signals empty.
+        """
+        item = self.try_pop(owner)
+        if item is None:
             raise RingEmptyError(f"{self.name} is empty")
-        return self.try_pop(owner)
+        return item
 
     def pop_batch(self, max_items: int, owner: Optional[object] = None) -> List[Any]:
         """Pop up to ``max_items`` items (the paper's batched consumption).
 
         One ownership check covers the whole batch — the consumer cannot
-        change mid-call under the SPSC discipline.
+        change mid-call under the SPSC discipline.  Builds a fresh list per
+        call (counted in ``list_allocs``); steady-state consumers should
+        prefer :meth:`drain_into`.
         """
-        self._check_consumer(owner)
+        if owner is not None and self._consumer is not owner:
+            self.claim_consumer(owner)
         if max_items < 0:
             raise ResourceError(f"negative batch: {max_items}")
         count = self._count
         if count == 0 or max_items == 0:
             return []
+        self.list_allocs += 1
         take = max_items if max_items < count else count
         batch: List[Any] = []
         head = self._head
@@ -174,9 +205,44 @@ class SpscRing:
         self.consumed += take
         return batch
 
+    def drain_into(self, buf: List[Any], max_items: int,
+                   owner: Optional[object] = None, start: int = 0) -> int:
+        """Pop up to ``max_items`` items into ``buf[start:]``; returns the count.
+
+        The allocation-free drain: the caller owns ``buf`` (a reusable
+        scratch list) and reads back exactly ``start + n`` valid slots.
+        ``buf`` is grown once if too short and never shrunk, so a steady
+        state consumer performs zero list allocations per pass.
+        """
+        if owner is not None and self._consumer is not owner:
+            self.claim_consumer(owner)
+        if max_items < 0:
+            raise ResourceError(f"negative batch: {max_items}")
+        count = self._count
+        take = max_items if max_items < count else count
+        if take <= 0:
+            return 0
+        need = start + take
+        if len(buf) < need:
+            buf.extend([None] * (need - len(buf)))
+        head = self._head
+        slots = self._slots
+        capacity = self.capacity
+        for i in range(start, need):
+            buf[i] = slots[head]
+            slots[head] = None
+            head += 1
+            if head == capacity:
+                head = 0
+        self._head = head
+        self._count = count - take
+        self.consumed += take
+        return take
+
     def peek(self, owner: Optional[object] = None) -> Any:
         """The oldest item without consuming it, or None when empty."""
-        self._check_consumer(owner)
+        if owner is not None and self._consumer is not owner:
+            self.claim_consumer(owner)
         if self.empty:
             return None
         return self._slots[self._head]

@@ -19,6 +19,7 @@ import json
 import os
 import resource
 import time
+from collections import deque
 from typing import Dict, List, Optional
 
 from repro.core.coreengine import CoreEngine
@@ -68,7 +69,8 @@ def bench_events(quick: bool) -> dict:
 
 def _mux_workload(scan: str, n_vms: int, active_vms: int,
                   nqes_per_active: int, burst: int = 1,
-                  period: float = 20e-6, ring_slots: int = 256) -> dict:
+                  period: float = 20e-6, ring_slots: int = 256,
+                  vectorized: Optional[bool] = None) -> dict:
     """Fig. 8-style multiplexing on raw NK devices.
 
     ``n_vms`` devices register with one CoreEngine; ``active_vms`` of
@@ -77,14 +79,15 @@ def _mux_workload(scan: str, n_vms: int, active_vms: int,
     ring consumer on the NSM device echoes every request as an
     OP_RESULT; per-VM drainers recycle the responses.  Returns a
     fingerprint of the simulated timeline — identical across scan modes
-    by the scheduler's bit-identity invariants.
+    *and* across ``vectorized`` settings by the scheduler's bit-identity
+    invariants.
     """
     sim = Simulator()
     core = Core(sim, name="bench.ce", hz=DEFAULT_COST_MODEL.core_hz)
     # Small rings keep device setup cheap (4096-slot rings would make
     # allocation, not scheduling, dominate the 1000-VM bench).
     engine = CoreEngine(sim, core, batch_size=8, ring_slots=ring_slots,
-                        scan=scan)
+                        scan=scan, vectorized=vectorized)
     nsm_id, nsm_dev = engine.register_nsm("nsm0", queue_sets=1)
     vms = []
     for i in range(n_vms):
@@ -98,7 +101,8 @@ def _mux_workload(scan: str, n_vms: int, active_vms: int,
         qs = nsm_dev.queue_sets[0]
         job_ring, send_ring = nsm_dev.consume_rings(qs)
         completion_ring, _ = nsm_dev.produce_rings(qs)
-        backlog = []
+        backlog = deque()
+        scratch: list = []
         while True:
             # Always consume requests (so CE's VM→NSM deliveries never
             # stall on a full job ring) and queue responses locally,
@@ -107,17 +111,22 @@ def _mux_workload(scan: str, n_vms: int, active_vms: int,
             progressed = False
             if backlog:
                 pushed = False
-                while backlog and not completion_ring.full:
-                    completion_ring.push(backlog.pop(0), owner=owner)
+                cap = completion_ring.capacity
+                while backlog and completion_ring._count < cap:
+                    completion_ring.try_push(backlog.popleft(), owner=owner)
                     pushed = True
                 if pushed:
                     nsm_dev.ring_doorbell()
                     progressed = True
-            batch = job_ring.pop_batch(64, owner=owner)
-            batch.extend(send_ring.pop_batch(64, owner=owner))
-            if batch:
+            n = (job_ring.drain_into(scratch, 64, owner=owner)
+                 if job_ring._count else 0)
+            if send_ring._count:
+                n += send_ring.drain_into(scratch, 64, owner=owner, start=n)
+            if n:
                 progressed = True
-                for nqe in batch:
+                for i in range(n):
+                    nqe = scratch[i]
+                    scratch[i] = None
                     received[0] += 1
                     backlog.append(nqe.response(NqeOp.OP_RESULT))
                     NQE_POOL.release(nqe)
@@ -132,24 +141,27 @@ def _mux_workload(scan: str, n_vms: int, active_vms: int,
         owner = object()
         qs = vm_dev.queue_sets[0]
         completion_ring, _ = vm_dev.consume_rings(qs)
+        scratch: list = []
         while True:
-            batch = completion_ring.pop_batch(64, owner=owner)
-            if not batch:
+            n = completion_ring.drain_into(scratch, 64, owner=owner)
+            if not n:
                 yield vm_dev.wait_for_inbound()
                 continue
-            for nqe in batch:
-                NQE_POOL.release(nqe)
+            for i in range(n):
+                NQE_POOL.release(scratch[i])
+                scratch[i] = None
 
     def producer(vm_id, vm_dev, index):
         owner = object()
         qs = vm_dev.queue_sets[0]
         control_ring, _ = vm_dev.produce_rings(qs)
+        acquire = NQE_POOL.acquire
         yield sim.timeout(1e-6 * (index + 1))  # stagger the phases
         for _ in range(nqes_per_active):
             for _ in range(burst):
                 control_ring.push(
-                    NQE_POOL.acquire(NqeOp.SETSOCKOPT, vm_id, 0, 1,
-                                     created_at=sim.now),
+                    acquire(NqeOp.SETSOCKOPT, vm_id, 0, 1,
+                            created_at=sim._now),
                     owner=owner)
             vm_dev.ring_doorbell()
             yield sim.timeout(period)
@@ -172,16 +184,31 @@ def _mux_workload(scan: str, n_vms: int, active_vms: int,
 
 
 def bench_nqe_switch(quick: bool) -> dict:
-    """CoreEngine switch throughput: bursts of 8 through one hot VM."""
+    """CoreEngine switch throughput: bursts of 8 through one hot VM.
+
+    Runs the same workload with ``vectorized`` on and off: ``wall_s`` is
+    the vectorized run (what the floor tracks), ``speedup_vs_scalar`` is
+    the A/B ratio, and ``fingerprint_match`` asserts the two simulated
+    timelines were bit-identical (vectorization is wall-clock only).
+    """
     nqes = 2_000 if quick else 20_000
     wall, peak, fp = _measure(
         lambda: _mux_workload("ready", n_vms=1, active_vms=1,
                               nqes_per_active=nqes, burst=8,
-                              period=5e-6))
+                              period=5e-6, vectorized=True))
+    wall_scalar, peak_scalar, fp_scalar = _measure(
+        lambda: _mux_workload("ready", n_vms=1, active_vms=1,
+                              nqes_per_active=nqes, burst=8,
+                              period=5e-6, vectorized=False))
     return {"wall_s": wall, "events": fp["events_processed"],
-            "peak_rss": peak, "nqes_switched": fp["nqes_switched"],
+            "peak_rss": max(peak, peak_scalar),
+            "nqes_switched": fp["nqes_switched"],
             "nqe_switches_per_sec":
-                fp["nqes_switched"] / wall if wall else 0.0}
+                fp["nqes_switched"] / wall if wall else 0.0,
+            "wall_scalar_s": wall_scalar,
+            "speedup_vs_scalar": wall_scalar / wall if wall else 0.0,
+            "fingerprint_match": fp == fp_scalar,
+            "fingerprint": fp}
 
 
 def _bench_fig08(n_vms: int, nqes_quick: int, nqes_full: int):
@@ -192,13 +219,21 @@ def _bench_fig08(n_vms: int, nqes_quick: int, nqes_full: int):
             lambda: _mux_workload("ready", n_vms, active, nqes))
         wall_full, peak_full, fp_full = _measure(
             lambda: _mux_workload("full", n_vms, active, nqes))
+        wall_scalar, peak_scalar, fp_scalar = _measure(
+            lambda: _mux_workload("ready", n_vms, active, nqes,
+                                  vectorized=False))
         return {
             "wall_s": wall_ready,
             "events": fp_ready["events_processed"],
-            "peak_rss": max(peak, peak_full),
+            "peak_rss": max(peak, peak_full, peak_scalar),
             "wall_full_s": wall_full,
             "speedup_vs_full": wall_full / wall_ready if wall_ready else 0.0,
-            "fingerprint_match": fp_ready == fp_full,
+            "wall_scalar_s": wall_scalar,
+            "speedup_vs_scalar":
+                wall_scalar / wall_ready if wall_ready else 0.0,
+            # One flag covers both standing proofs: ready-vs-full scan
+            # AND vectorized-vs-scalar produce the same simulated timeline.
+            "fingerprint_match": fp_ready == fp_full == fp_scalar,
             "fingerprint": fp_ready,
         }
 
@@ -242,7 +277,8 @@ def _sharded_mux_workload(scan: str, n_shards: int, vms_per_shard: int,
         qs = nsm_dev.queue_sets[0]
         job_ring, send_ring = nsm_dev.consume_rings(qs)
         completion_ring, _ = nsm_dev.produce_rings(qs)
-        backlog = []
+        backlog = deque()
+        scratch: list = []
         while True:
             # Same consume-always/drain-opportunistically discipline as
             # _mux_workload's responder — the two must stay identical
@@ -250,17 +286,22 @@ def _sharded_mux_workload(scan: str, n_shards: int, vms_per_shard: int,
             progressed = False
             if backlog:
                 pushed = False
-                while backlog and not completion_ring.full:
-                    completion_ring.push(backlog.pop(0), owner=owner)
+                cap = completion_ring.capacity
+                while backlog and completion_ring._count < cap:
+                    completion_ring.try_push(backlog.popleft(), owner=owner)
                     pushed = True
                 if pushed:
                     nsm_dev.ring_doorbell()
                     progressed = True
-            batch = job_ring.pop_batch(64, owner=owner)
-            batch.extend(send_ring.pop_batch(64, owner=owner))
-            if batch:
+            n = (job_ring.drain_into(scratch, 64, owner=owner)
+                 if job_ring._count else 0)
+            if send_ring._count:
+                n += send_ring.drain_into(scratch, 64, owner=owner, start=n)
+            if n:
                 progressed = True
-                for nqe in batch:
+                for i in range(n):
+                    nqe = scratch[i]
+                    scratch[i] = None
                     received[shard_index] += 1
                     backlog.append(nqe.response(NqeOp.OP_RESULT))
                     NQE_POOL.release(nqe)
@@ -275,13 +316,15 @@ def _sharded_mux_workload(scan: str, n_shards: int, vms_per_shard: int,
         owner = object()
         qs = vm_dev.queue_sets[0]
         completion_ring, _ = vm_dev.consume_rings(qs)
+        scratch: list = []
         while True:
-            batch = completion_ring.pop_batch(64, owner=owner)
-            if not batch:
+            n = completion_ring.drain_into(scratch, 64, owner=owner)
+            if not n:
                 yield vm_dev.wait_for_inbound()
                 continue
-            for nqe in batch:
-                NQE_POOL.release(nqe)
+            for i in range(n):
+                NQE_POOL.release(scratch[i])
+                scratch[i] = None
 
     def producer(vm_id, vm_dev, index):
         owner = object()
@@ -441,8 +484,15 @@ BENCHMARKS = {
 
 
 def run_benchmarks(names: Optional[List[str]] = None,
-                   quick: bool = False) -> Dict[str, dict]:
-    """Run the named benchmarks (all by default), in registry order."""
+                   quick: bool = False,
+                   profile_top: int = 0) -> Dict[str, dict]:
+    """Run the named benchmarks (all by default), in registry order.
+
+    ``profile_top > 0`` wraps each benchmark in cProfile and attaches the
+    top-N functions by cumulative time as ``result["profile"]`` (a text
+    dump; the CLI prints it).  Profiled wall times carry tracer overhead,
+    so never use them for floors or committed BENCH files.
+    """
     if not names:
         names = list(BENCHMARKS)
     unknown = [n for n in names if n not in BENCHMARKS]
@@ -451,7 +501,22 @@ def run_benchmarks(names: Optional[List[str]] = None,
                        f"choose from {list(BENCHMARKS)}")
     results = {}
     for name in names:
-        result = BENCHMARKS[name](quick)
+        if profile_top > 0:
+            import cProfile
+            import io
+            import pstats
+            prof = cProfile.Profile()
+            prof.enable()
+            try:
+                result = BENCHMARKS[name](quick)
+            finally:
+                prof.disable()
+            stream = io.StringIO()
+            stats = pstats.Stats(prof, stream=stream)
+            stats.sort_stats("cumulative").print_stats(profile_top)
+            result["profile"] = stream.getvalue()
+        else:
+            result = BENCHMARKS[name](quick)
         result["name"] = name
         result["quick"] = quick
         results[name] = result

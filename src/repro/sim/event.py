@@ -85,7 +85,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._state != PENDING:  # `triggered` property, inlined (hot)
             raise SimulationError("event triggered twice")
         self._state = TRIGGERED
         self._value = value
@@ -111,10 +111,12 @@ class Event:
         hide real bugs (the SimPy convention).
         """
         self._state = PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
-        if self._exception is not None and not callbacks:
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
+        elif self._exception is not None:
             raise self._exception
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -129,10 +131,14 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
+        # Event.__init__ inlined: timeouts are the highest-volume event
+        # type and are born triggered, so the PENDING store is skipped.
+        self.sim = sim
+        self.callbacks = []
         self._state = TRIGGERED
         self._value = value
+        self._exception = None
+        self.delay = delay
         self._cancelled = False
         sim._queue_event(self, delay=delay)
 

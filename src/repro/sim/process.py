@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
-from repro.sim.event import Event
+from repro.sim.event import Event, PENDING, PROCESSED
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -67,7 +67,7 @@ class Process(Event):
     # -- internals -----------------------------------------------------------
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._state != PENDING:  # `triggered` property, inlined (hot)
             return
         self._waiting_on = None
         if event._exception is not None:
@@ -98,7 +98,7 @@ class Process(Event):
             return
 
         self._waiting_on = yielded
-        if yielded.processed:
+        if yielded._state == PROCESSED:  # `processed` property, inlined (hot)
             # Already done: resume on the next loop turn with its value.
             resume = self.sim.event()
             resume.callbacks.append(self._resume)

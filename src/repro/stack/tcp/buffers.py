@@ -3,84 +3,258 @@
 Both carry real bytes so data integrity can be asserted end to end.  The
 send buffer holds everything written-but-unacked; the receive buffer
 reassembles out-of-order segments and exposes the advertised window.
+
+Two storage strategies live side by side, selected by ``vectorized``
+(default True, the slab-backed fast path; ``False`` is the pre-existing
+scalar layout kept as the A/B baseline for benchmarking).  Both produce
+byte-identical streams and identical window arithmetic — the vectorized
+path only changes *how many times payload bytes are copied*:
+
+* ``SendBuffer`` (vectorized) is a fixed ring over one preallocated
+  ``bytearray`` slab.  ``write`` copies bytes in once; ``peek`` returns a
+  zero-copy ``memoryview`` of the slab for the contiguous common case
+  (so every transmission and retransmission reads the slab in place);
+  ``advance`` is O(1) index arithmetic instead of an O(n) front-delete
+  memmove per ACK.  Views handed out by ``peek`` stay valid exactly as
+  long as the bytes are unacked — the ring cannot recycle a region
+  before ``advance`` passes it, and receivers copy on delivery (below)
+  before the ACK that would free it can exist.
+
+* ``ReceiveBuffer`` (vectorized) stores ready data as a deque of bytes
+  chunks: ``deliver`` materializes each accepted payload slice exactly
+  once (``bytes(view)`` — the single per-direction copy), ``read`` hands
+  the head chunk back zero-copy when it satisfies the read, and the
+  advertised window comes from maintained counters instead of summing
+  chunk lengths.  Out-of-order purging keeps a sorted key list updated
+  by bisect, so the no-stale-chunks common case costs O(1) per drain
+  iteration instead of re-sorting every stashed key.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from bisect import insort
+from collections import deque
+from typing import Dict, Iterable, List, Tuple, Union
 
 from repro.errors import ResourceError
+
+Payload = Union[bytes, bytearray, memoryview]
+
+#: Module default for the slab/zero-copy fast path; engines inherit it
+#: unless constructed with an explicit ``vectorized=`` override.
+VECTORIZED_DEFAULT = True
 
 
 class SendBuffer:
     """Unacked + unsent outbound bytes, addressed relative to SND.UNA."""
 
-    def __init__(self, capacity: int = 4 * 1024 * 1024):
+    def __init__(self, capacity: int = 4 * 1024 * 1024,
+                 vectorized: bool = VECTORIZED_DEFAULT):
         if capacity < 1:
             raise ResourceError(f"send buffer capacity must be >=1: {capacity}")
         self.capacity = capacity
-        self._data = bytearray()
+        self.vectorized = vectorized
+        if vectorized:
+            # Ring over one preallocated slab; _start/_len replace the
+            # legacy grow-and-memmove bytearray.
+            self._slab = bytearray(capacity)
+            self._mv = memoryview(self._slab)
+            self._start = 0
+            self._len = 0
+        else:
+            self._data = bytearray()
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self._len if self.vectorized else len(self._data)
 
     @property
     def free_space(self) -> int:
-        return self.capacity - len(self._data)
+        return self.capacity - len(self)
 
-    def write(self, data: bytes) -> int:
+    def write(self, data: Payload) -> int:
         """Append up to ``free_space`` bytes; returns how many were taken."""
-        take = min(len(data), self.free_space)
-        if take:
-            self._data.extend(data[:take])
+        if not self.vectorized:
+            take = min(len(data), self.free_space)
+            if take:
+                self._data.extend(data[:take])
+            return take
+        take = min(len(data), self.capacity - self._len)
+        if not take:
+            return 0
+        src = data if type(data) is memoryview else memoryview(data)
+        pos = self._start + self._len
+        if pos >= self.capacity:
+            pos -= self.capacity
+        first = min(take, self.capacity - pos)
+        self._mv[pos:pos + first] = src[:first]
+        if first < take:
+            self._mv[:take - first] = src[first:take]
+        self._len += take
         return take
 
-    def peek(self, offset: int, length: int) -> bytes:
-        """Bytes at ``offset`` from SND.UNA (for (re)transmission)."""
+    def peek(self, offset: int, length: int) -> Payload:
+        """Bytes at ``offset`` from SND.UNA (for (re)transmission).
+
+        Vectorized mode returns a zero-copy ``memoryview`` of the slab
+        when the range is contiguous (the overwhelmingly common case);
+        a range that wraps the ring boundary is joined into fresh bytes.
+        The view is guaranteed stable until ``advance`` passes its last
+        byte — i.e. for as long as the bytes are unacked.
+        """
         if offset < 0:
             raise ResourceError(f"negative peek offset: {offset}")
-        return bytes(self._data[offset:offset + length])
+        if not self.vectorized:
+            return bytes(self._data[offset:offset + length])
+        take = min(length, self._len - offset)
+        if take <= 0:
+            return b""
+        pos = self._start + offset
+        if pos >= self.capacity:
+            pos -= self.capacity
+        first = self.capacity - pos
+        if take <= first:
+            return self._mv[pos:pos + take]
+        return bytes(self._mv[pos:]) + bytes(self._mv[:take - first])
 
     def advance(self, acked: int) -> None:
         """Drop ``acked`` bytes from the front (cumulative ACK)."""
         if acked < 0:
             raise ResourceError(f"negative ack advance: {acked}")
-        if acked > len(self._data):
+        if acked > len(self):
             raise ResourceError(
-                f"ack advances past buffered data: {acked} > {len(self._data)}"
+                f"ack advances past buffered data: {acked} > {len(self)}"
             )
-        del self._data[:acked]
+        if not self.vectorized:
+            del self._data[:acked]
+            return
+        start = self._start + acked
+        if start >= self.capacity:
+            start -= self.capacity
+        self._start = start
+        self._len -= acked
 
 
 class ReceiveBuffer:
     """In-order delivery queue plus out-of-order reassembly."""
 
-    def __init__(self, capacity: int = 4 * 1024 * 1024, initial_seq: int = 0):
+    def __init__(self, capacity: int = 4 * 1024 * 1024, initial_seq: int = 0,
+                 vectorized: bool = VECTORIZED_DEFAULT):
         if capacity < 1:
             raise ResourceError(f"recv buffer capacity must be >=1: {capacity}")
         self.capacity = capacity
         self.rcv_nxt = initial_seq
-        self._ready = bytearray()
+        self.vectorized = vectorized
         self._out_of_order: Dict[int, bytes] = {}
+        if vectorized:
+            self._chunks: deque = deque()
+            self._ready_len = 0
+            self._read_pos = 0  # consumed prefix of _chunks[0]
+            self._ooo_keys: List[int] = []  # sorted view of _out_of_order
+            self._ooo_bytes = 0
+        else:
+            self._ready = bytearray()
 
     def __len__(self) -> int:
-        return len(self._ready)
+        return self._ready_len if self.vectorized else len(self._ready)
 
     @property
     def window(self) -> int:
         """Advertised receive window (free space for in-order data)."""
-        pending = len(self._ready) + sum(
-            len(chunk) for chunk in self._out_of_order.values())
+        if self.vectorized:
+            pending = self._ready_len + self._ooo_bytes
+        else:
+            pending = len(self._ready) + sum(
+                len(chunk) for chunk in self._out_of_order.values())
         return max(0, self.capacity - pending)
 
-    def deliver(self, seq: int, data: bytes) -> int:
+    def deliver(self, seq: int, data: Payload) -> int:
         """Accept a data segment; returns bytes newly made ready.
 
         Segments beyond the window are dropped (the sender respects the
         advertised window, so overflow indicates loss-recovery overlap and
         is trimmed, not fatal).  Duplicate and overlapping prefixes are
         trimmed against ``rcv_nxt``.
+
+        ``data`` may be a ``memoryview`` over the sender's slab; this is
+        the one point where payload bytes are copied on the receive side
+        (``bytes(view)``), and it happens *before* the ACK covering them
+        can be emitted, so the viewed region cannot have been recycled.
         """
+        if not self.vectorized:
+            return self._deliver_scalar(seq, data)
+        length = len(data)
+        if not length:
+            return 0
+        end = seq + length
+        nxt = self.rcv_nxt
+        if end <= nxt:
+            return 0  # entirely duplicate
+        off = 0
+        if seq < nxt:
+            off = nxt - seq
+            seq = nxt
+            length -= off
+
+        if seq > nxt:
+            # Out of order: stash a copy (bounded by window; beyond it,
+            # drop).  Copying here keeps stashed bytes independent of the
+            # sender's slab, whose region may be recycled after later ACKs.
+            if length <= self.window and seq not in self._out_of_order:
+                self._out_of_order[seq] = bytes(data[off:])
+                insort(self._ooo_keys, seq)
+                self._ooo_bytes += length
+            return 0
+
+        # In order: take what fits the window.
+        take = min(length, self.window)
+        if take <= 0:
+            return 0
+        if off == 0 and take == length and type(data) is bytes:
+            chunk = data  # already immutable: adopt without copying
+        else:
+            chunk = bytes(data[off:off + take])
+        self._chunks.append(chunk)
+        self._ready_len += take
+        self.rcv_nxt = seq + take
+        return take + self._drain_out_of_order()
+
+    def deliver_batch(self, segments: Iterable[Tuple[int, Payload]]) -> int:
+        """Deliver several segments in one call; returns total newly ready.
+
+        Exactly equivalent to summing :meth:`deliver` over ``segments`` in
+        order (the equivalence is asserted by tests under overlap and
+        out-of-order patterns).  The fast path — consecutive in-order
+        segments with an empty reassembly stash — appends chunks directly
+        without re-running the stash purge/drain machinery per segment.
+        """
+        if not self.vectorized:
+            made = 0
+            for seq, data in segments:
+                made += self._deliver_scalar(seq, data)
+            return made
+        made = 0
+        chunks = self._chunks
+        for seq, data in segments:
+            if not self._out_of_order and seq == self.rcv_nxt and data:
+                length = len(data)
+                take = min(length, self.capacity - self._ready_len)
+                if take <= 0:
+                    continue  # window closed: deliver() would drop it too
+                if take == length and type(data) is bytes:
+                    chunk = data
+                else:
+                    chunk = bytes(data[:take])
+                chunks.append(chunk)
+                self._ready_len += take
+                self.rcv_nxt += take
+                made += take
+                continue
+            made += self.deliver(seq, data)
+        return made
+
+    # -- scalar (pre-vectorization) delivery path --------------------------
+
+    def _deliver_scalar(self, seq: int, data: Payload) -> int:
         if not data:
             return 0
         end = seq + len(data)
@@ -93,7 +267,7 @@ class ReceiveBuffer:
         if seq > self.rcv_nxt:
             # Out of order: stash (bounded by window; beyond it, drop).
             if len(data) <= self.window and seq not in self._out_of_order:
-                self._out_of_order[seq] = data
+                self._out_of_order[seq] = bytes(data)
             return 0
 
         # In order: take what fits the window.
@@ -107,6 +281,44 @@ class ReceiveBuffer:
         return made_ready
 
     def _drain_out_of_order(self) -> int:
+        if not self.vectorized:
+            return self._drain_out_of_order_scalar()
+        drained = 0
+        ooo = self._out_of_order
+        keys = self._ooo_keys
+        while True:
+            self._purge_stale_out_of_order()
+            nxt = self.rcv_nxt
+            if not keys or keys[0] != nxt:
+                break
+            chunk = ooo.pop(nxt)
+            del keys[0]
+            clen = len(chunk)
+            self._ooo_bytes -= clen
+            take = min(clen, self.capacity - self._ready_len)
+            if take <= 0:
+                # Window closed mid-drain; put the chunk back.
+                ooo[nxt] = chunk
+                keys.insert(0, nxt)
+                self._ooo_bytes += clen
+                break
+            if take < clen:
+                self._chunks.append(chunk[:take])
+                self._ready_len += take
+                self.rcv_nxt = nxt + take
+                drained += take
+                rest = chunk[take:]
+                ooo[self.rcv_nxt] = rest
+                keys.insert(0, self.rcv_nxt)
+                self._ooo_bytes += len(rest)
+                break
+            self._chunks.append(chunk)
+            self._ready_len += take
+            self.rcv_nxt = nxt + take
+            drained += take
+        return drained
+
+    def _drain_out_of_order_scalar(self) -> int:
         drained = 0
         progress = True
         while progress:
@@ -136,22 +348,91 @@ class ReceiveBuffer:
         leave chunks whose range is partly or fully below ``rcv_nxt``;
         without purging they would count against the advertised window
         forever (a permanent zero-window in long transfers with loss).
+
+        The vectorized path walks ``_ooo_keys`` (kept sorted by bisect on
+        insert) from the front, so the common no-stale-chunks case is a
+        single comparison instead of the scalar path's full re-sort of
+        every stashed key per drain iteration.
         """
-        for seq in sorted(self._out_of_order):
-            if seq >= self.rcv_nxt:
-                break
-            chunk = self._out_of_order.pop(seq)
-            if seq + len(chunk) > self.rcv_nxt:
-                trimmed = chunk[self.rcv_nxt - seq:]
-                existing = self._out_of_order.get(self.rcv_nxt)
+        if not self.vectorized:
+            for seq in sorted(self._out_of_order):
+                if seq >= self.rcv_nxt:
+                    break
+                chunk = self._out_of_order.pop(seq)
+                if seq + len(chunk) > self.rcv_nxt:
+                    trimmed = chunk[self.rcv_nxt - seq:]
+                    existing = self._out_of_order.get(self.rcv_nxt)
+                    if existing is None or len(existing) < len(trimmed):
+                        self._out_of_order[self.rcv_nxt] = trimmed
+            return
+        keys = self._ooo_keys
+        ooo = self._out_of_order
+        nxt = self.rcv_nxt
+        while keys and keys[0] < nxt:
+            seq = keys.pop(0)
+            chunk = ooo.pop(seq)
+            self._ooo_bytes -= len(chunk)
+            if seq + len(chunk) > nxt:
+                trimmed = chunk[nxt - seq:]
+                existing = ooo.get(nxt)
                 if existing is None or len(existing) < len(trimmed):
-                    self._out_of_order[self.rcv_nxt] = trimmed
+                    if existing is None:
+                        # nxt sorts before every surviving key (all >= nxt).
+                        keys.insert(0, nxt)
+                    else:
+                        self._ooo_bytes -= len(existing)
+                    ooo[nxt] = trimmed
+                    self._ooo_bytes += len(trimmed)
 
     def read(self, max_bytes: int) -> bytes:
-        """Consume up to ``max_bytes`` of in-order data."""
+        """Consume up to ``max_bytes`` of in-order data.
+
+        Vectorized mode returns the ready head chunk itself (zero-copy)
+        when it exactly satisfies the read; otherwise a single slice or
+        join.  The scalar path's slice-then-delete double copy is gone.
+        """
         if max_bytes < 0:
             raise ResourceError(f"negative read: {max_bytes}")
-        take = min(max_bytes, len(self._ready))
-        data = bytes(self._ready[:take])
-        del self._ready[:take]
-        return data
+        if not self.vectorized:
+            take = min(max_bytes, len(self._ready))
+            data = bytes(self._ready[:take])
+            del self._ready[:take]
+            return data
+        take = min(max_bytes, self._ready_len)
+        if take <= 0:
+            return b""
+        chunks = self._chunks
+        pos = self._read_pos
+        head = chunks[0]
+        head_avail = len(head) - pos
+        if head_avail >= take:
+            if pos == 0 and head_avail == take:
+                chunks.popleft()
+                self._ready_len -= take
+                return head  # whole chunk: hand it back without copying
+            data = head[pos:pos + take]
+            if head_avail == take:
+                chunks.popleft()
+                self._read_pos = 0
+            else:
+                self._read_pos = pos + take
+            self._ready_len -= take
+            return data
+        # Read spans chunks: gather with one join.
+        parts = []
+        need = take
+        while need:
+            head = chunks[0]
+            avail = len(head) - pos
+            if avail <= need:
+                parts.append(head[pos:] if pos else head)
+                chunks.popleft()
+                pos = 0
+                need -= avail
+            else:
+                parts.append(head[pos:pos + need])
+                pos += need
+                need = 0
+        self._read_pos = pos
+        self._ready_len -= take
+        return b"".join(parts)

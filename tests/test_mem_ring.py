@@ -80,6 +80,100 @@ class TestBatching:
             ring.pop_batch(-1)
 
 
+class TestBatchWraparound:
+    """Batch ops straddling the capacity boundary (slab index math)."""
+
+    def _offset_ring(self, capacity, offset):
+        """A ring whose head/tail sit ``offset`` slots in (forces wraps)."""
+        ring = SpscRing(capacity)
+        for i in range(offset):
+            ring.push(("pre", i))
+            ring.pop()
+        return ring
+
+    def test_push_batch_straddles_capacity(self):
+        ring = self._offset_ring(8, 6)  # tail at 6: batch wraps after 2
+        assert ring.push_batch(list(range(5))) == 5
+        assert [ring.pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_pop_batch_straddles_capacity(self):
+        ring = self._offset_ring(8, 7)  # head at 7: batch wraps after 1
+        for i in range(6):
+            ring.push(i)
+        assert ring.pop_batch(6) == [0, 1, 2, 3, 4, 5]
+        assert ring.empty
+
+    def test_drain_into_straddles_capacity(self):
+        ring = self._offset_ring(8, 5)
+        for i in range(7):
+            ring.push(i)
+        buf = []
+        n = ring.drain_into(buf, 7)
+        assert n == 7
+        assert buf[:n] == [0, 1, 2, 3, 4, 5, 6]
+        # Drained slots are cleared so the ring keeps no references.
+        assert all(slot is None for slot in ring._slots)
+
+    def test_push_batch_count_prefix(self):
+        # count=N pushes only the valid prefix of a reused scratch list.
+        ring = SpscRing(8)
+        scratch = [10, 11, 12, "stale", "stale"]
+        assert ring.push_batch(scratch, count=3) == 3
+        assert ring.pop_batch(8) == [10, 11, 12]
+
+    def test_drain_into_start_appends_after_prefix(self):
+        a, b = SpscRing(4), SpscRing(4)
+        a.push("a0"), a.push("a1")
+        b.push("b0")
+        buf = []
+        n = a.drain_into(buf, 4)
+        n += b.drain_into(buf, 4 - n, start=n)
+        assert n == 3
+        assert buf[:n] == ["a0", "a1", "b0"]
+
+    def test_drain_into_reuses_buffer(self):
+        ring = SpscRing(8)
+        buf = [None] * 8
+        for round_ in range(5):
+            offset = round_ % 3
+            for i in range(offset):  # shift cursors to vary wrap points
+                ring.push(i)
+                ring.pop()
+            for i in range(6):
+                ring.push(i)
+            before = id(buf)
+            assert ring.drain_into(buf, 6) == 6
+            assert id(buf) == before and len(buf) == 8
+
+    def test_wraparound_accounting(self):
+        ring = self._offset_ring(4, 3)
+        assert ring.push_batch([1, 2, 3, 4, 5, 6]) == 4
+        # One rejection per overflowing batch (first refused element).
+        assert ring.full_rejections == 1
+        assert ring.peak_depth == 4
+        assert ring.drain_into([], 2) == 2
+        ring.push_batch([7])
+        assert ring.peak_depth == 4  # depth 3 now; peak unchanged
+        assert ring.produced == 3 + 4 + 1
+        assert ring.consumed == 3 + 2
+
+    def test_empty_drain_is_allocation_free(self):
+        ring = SpscRing(4)
+        buf = []
+        assert ring.drain_into(buf, 4) == 0
+        assert buf == []
+        assert ring.list_allocs == 0
+
+    def test_pop_batch_counts_list_allocs(self):
+        ring = SpscRing(4)
+        ring.push(1)
+        ring.pop_batch(4)
+        buf = []
+        ring.push(2)
+        ring.drain_into(buf, 4)
+        assert ring.list_allocs == 1  # pop_batch only; drain_into reuses
+
+
 class TestOwnership:
     def test_single_producer_enforced(self):
         ring = SpscRing(4)

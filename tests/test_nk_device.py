@@ -78,16 +78,32 @@ class TestNotification:
     def test_wake_triggers_waiters(self, sim):
         device = make_device(sim)
         event = device.wait_for_inbound()
+        event.callbacks.append(lambda _e: None)  # a parked consumer
         device.wake()
         assert event.triggered
 
     def test_wake_rearms_event(self, sim):
         device = make_device(sim)
         first = device.wait_for_inbound()
+        first.callbacks.append(lambda _e: None)
         device.wake()
         second = device.wait_for_inbound()
         assert second is not first
         assert not second.triggered
+
+    def test_wake_without_waiters_is_a_noop(self, sim):
+        # No consumer parked on the event: wake must not queue a ghost
+        # event (per-NQE wakes during a batched delivery would otherwise
+        # flood the event loop) and must keep the same event armed.
+        device = make_device(sim)
+        event = device.wait_for_inbound()
+        before = sim.events_processed
+        device.wake()
+        device.wake()
+        assert not event.triggered
+        assert device.wait_for_inbound() is event
+        sim.run()
+        assert sim.events_processed == before
 
 
 class TestDraining:

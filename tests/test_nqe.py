@@ -43,6 +43,19 @@ class TestNqeFormat:
         assert response.token == request.token
         assert response.op == NqeOp.OP_RESULT
 
+    def test_unpack_draws_fresh_token(self):
+        """Regression: unpack used to hardcode token=0, which is not a
+        reserved value — a decoded element could shadow a live request in
+        any correlation map keyed by token.  Decoded elements must draw
+        fresh, distinct tokens like any other new NQE."""
+        nqe = Nqe(NqeOp.SEND, 1, 0, 5)
+        raw = nqe.pack()
+        a = Nqe.unpack(raw)
+        b = Nqe.unpack(raw)
+        assert a.token != 0 and b.token != 0
+        assert a.token != b.token
+        assert a.token != nqe.token and b.token != nqe.token
+
     def test_tokens_unique_per_nqe(self):
         tokens = {Nqe(NqeOp.SOCKET, 1, 0, 1).token for _ in range(100)}
         assert len(tokens) == 100

@@ -45,6 +45,28 @@ def _reset_global_counters():
 
 
 @contextmanager
+def vectorized_mode(flag):
+    """Flip every vectorized default (CoreEngine routing and TCP stream
+    buffers) so unchanged experiment code builds its whole datapath in
+    the given mode, with global counters rewound for comparability.
+    ``tcp.engine`` imports the buffer default by value, so it is patched
+    in both modules."""
+    from repro.stack.tcp import buffers, engine as tcp_engine
+
+    previous = (coreengine.DEFAULT_VECTORIZED, buffers.VECTORIZED_DEFAULT,
+                tcp_engine.VECTORIZED_DEFAULT)
+    coreengine.DEFAULT_VECTORIZED = flag
+    buffers.VECTORIZED_DEFAULT = flag
+    tcp_engine.VECTORIZED_DEFAULT = flag
+    _reset_global_counters()
+    try:
+        yield
+    finally:
+        (coreengine.DEFAULT_VECTORIZED, buffers.VECTORIZED_DEFAULT,
+         tcp_engine.VECTORIZED_DEFAULT) = previous
+
+
+@contextmanager
 def scan_mode(mode):
     """Flip the default scan mode so unchanged experiment code (which
     never passes ``scan=``) builds its CoreEngine in the given mode,
@@ -132,6 +154,99 @@ class TestRawSwitchIdenticalAcrossModes:
         return (sim.now, sim.events_processed, engine.nqes_switched,
                 engine.batches, stats["rate_limited_stalls"],
                 _strip_sched(stats))
+
+
+class TestVectorizedIdenticalToScalar:
+    """The vectorized datapath (slab rings, scratch drains, zero-copy
+    hand-off, batched delivery) is a wall-clock optimization only: the
+    simulated timeline must be bit-identical to ``vectorized=False``."""
+
+    def test_multiplexing_fingerprint(self):
+        fast = _mux_workload("ready", n_vms=40, active_vms=4,
+                             nqes_per_active=50, vectorized=True)
+        scalar = _mux_workload("ready", n_vms=40, active_vms=4,
+                               nqes_per_active=50, vectorized=False)
+        scalar_full = _mux_workload("full", n_vms=40, active_vms=4,
+                                    nqes_per_active=50, vectorized=False)
+        assert fast == scalar == scalar_full
+
+    def test_transfer_fingerprint_matches(self):
+        """Full stack: GuestLib -> CE -> NSM TCP -> network and back,
+        exercising the slab SendBuffer, chunked ReceiveBuffer, and the
+        memoryview hand-off end to end."""
+        from tests.test_determinism import run_transfer_fingerprint
+
+        with vectorized_mode(True):
+            fast = run_transfer_fingerprint()
+        with vectorized_mode(False):
+            scalar = run_transfer_fingerprint()
+        assert fast == scalar
+
+    @pytest.mark.parametrize("exp_id,kwargs", [
+        ("fig8", {}),
+        ("table5", {"requests": 200, "concurrency": 40}),
+    ])
+    def test_experiment_rows_match(self, exp_id, kwargs):
+        with vectorized_mode(True):
+            fast = _experiment_outputs(exp_id, **kwargs)
+        with vectorized_mode(False):
+            scalar = _experiment_outputs(exp_id, **kwargs)
+        assert fast == scalar
+
+
+class TestZeroAllocSwitching:
+    """Perf smoke: steady-state vectorized switching performs zero list
+    allocations — every drain goes through ``drain_into`` on a reused
+    scratch, never ``pop_batch`` (which is what ``list_allocs`` counts)."""
+
+    def test_steady_state_switching_allocates_no_lists(self):
+        sim = Simulator()
+        engine = CoreEngine(sim, Core(sim, name="ce"), batch_size=8,
+                            scan="ready", vectorized=True)
+        nsm_id, nsm_dev = engine.register_nsm("nsm0", queue_sets=2)
+        devices = [nsm_dev]
+        for i in range(4):
+            vm_id, vm_dev = engine.register_vm(f"vm{i}", queue_sets=1)
+            engine.assign_vm(vm_id, nsm_id)
+            devices.append(vm_dev)
+            ring, _ = vm_dev.produce_rings(vm_dev.queue_sets[0])
+            for _ in range(16):
+                ring.push(Nqe(NqeOp.SETSOCKOPT, vm_id, 0, 1), owner="guest")
+            vm_dev.ring_doorbell()
+
+        def responder():
+            owner = object()
+            scratch = []
+            while True:
+                n = nsm_dev.drain_consume_into(scratch, 64, owner)
+                if not n:
+                    yield nsm_dev.wait_for_inbound()
+                    continue
+                for i in range(n):
+                    nqe = scratch[i]
+                    scratch[i] = None
+                    qs = nsm_dev.queue_set_for(nqe.queue_set_id)
+                    control, _ = nsm_dev.produce_rings(qs)
+                    control.push(nqe.response(NqeOp.OP_RESULT), owner=owner)
+                nsm_dev.ring_doorbell()
+
+        def drainer(dev):
+            owner = object()
+            scratch = []
+            while True:
+                if not dev.drain_consume_into(scratch, 64, owner):
+                    yield dev.wait_for_inbound()
+
+        sim.process(responder())
+        for dev in devices[1:]:
+            sim.process(drainer(dev))
+        sim.run(until=0.05)
+
+        assert engine.nqes_switched == 4 * 16 * 2  # requests + responses
+        allocs = sum(ring.list_allocs
+                     for dev in devices for qs in dev.queue_sets
+                     for ring in (qs.job, qs.send, qs.completion, qs.receive))
+        assert allocs == 0
 
 
 class TestStaleWakeupFix:

@@ -123,6 +123,77 @@ class TestReceiveBuffer:
         assert buf.read(100_000) == payload
 
 
+class TestDeliverBatchEquivalence:
+    """``deliver_batch(segs)`` must equal N single ``deliver`` calls —
+    same bytes made ready, same cursor, same window — in both storage
+    modes (the vectorized fast path takes a different code path only
+    for consecutive in-order segments with an empty stash)."""
+
+    def _check(self, segments, vectorized, capacity=1000):
+        batched = ReceiveBuffer(capacity, initial_seq=0, vectorized=vectorized)
+        single = ReceiveBuffer(capacity, initial_seq=0, vectorized=vectorized)
+        made_b = batched.deliver_batch(segments)
+        made_s = sum(single.deliver(seq, data) for seq, data in segments)
+        assert made_b == made_s
+        assert batched.rcv_nxt == single.rcv_nxt
+        assert batched.window == single.window
+        assert batched.read(10 * capacity) == single.read(10 * capacity)
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_in_order_run(self, vectorized):
+        self._check([(0, b"abc"), (3, b"def"), (6, b"ghi")], vectorized)
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_out_of_order_then_fill(self, vectorized):
+        self._check([(6, b"ghi"), (3, b"def"), (0, b"abc")], vectorized)
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_overlap_and_duplicates(self, vectorized):
+        self._check(
+            [(0, b"abcd"), (2, b"cdef"), (0, b"abcd"), (4, b"efgh")],
+            vectorized)
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_stash_mid_batch_disables_fast_path(self, vectorized):
+        # Segment 2 stashes; segments 3-4 must go through full deliver()
+        # even though they are in-order, or the stash would never drain.
+        self._check(
+            [(0, b"aa"), (4, b"cc"), (2, b"bb"), (6, b"dd")], vectorized)
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_window_closes_mid_batch(self, vectorized):
+        self._check([(0, b"abcd"), (4, b"efgh"), (8, b"ijkl")],
+                    vectorized, capacity=6)
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_memoryview_segments(self, vectorized):
+        # The zero-copy hand-off delivers memoryviews over the sender
+        # slab; batch delivery must materialize them exactly like deliver.
+        slab = bytearray(b"abcdefgh")
+        segs = [(0, memoryview(slab)[0:4]), (4, memoryview(slab)[4:8])]
+        buf = ReceiveBuffer(100, initial_seq=0, vectorized=vectorized)
+        assert buf.deliver_batch(segs) == 8
+        slab[:] = b"XXXXXXXX"  # mutating the slab must not alias ready data
+        assert buf.read(100) == b"abcdefgh"
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_batch_equivalence_property(self, data):
+        payload = data.draw(st.binary(min_size=1, max_size=200))
+        cuts = sorted(data.draw(st.sets(
+            st.integers(min_value=1, max_value=max(1, len(payload) - 1)),
+            max_size=8)))
+        bounds = [0] + cuts + [len(payload)]
+        segments = [
+            (bounds[i], payload[bounds[i]:bounds[i + 1]])
+            for i in range(len(bounds) - 1)
+            if bounds[i] < bounds[i + 1]
+        ]
+        order = data.draw(st.permutations(segments + segments))
+        vectorized = data.draw(st.booleans())
+        self._check(order, vectorized, capacity=10_000)
+
+
 class TestStaleOutOfOrderPurge:
     """Regression: retransmissions at shifted offsets must not leave
     stale stashed chunks that permanently shrink the window."""
