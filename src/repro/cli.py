@@ -300,6 +300,64 @@ def _cmd_chaos(seed: int, plan: str, duration: float,
     return _finish(env, as_json)
 
 
+def _cmd_capacity(scenario: str, seed: int, window: Optional[float],
+                  n_vms: int, iterations: int, as_json: bool,
+                  verify: bool) -> int:
+    env = Envelope("capacity")
+    params = {"scenario": scenario, "seed": seed, "n_vms": n_vms,
+              "iterations": iterations}
+    if window is not None:
+        params["window"] = window
+    spec = JobSpec("capacity", params=params, seed=seed)
+    runs = 2 if verify else 1
+    results = [execute_job(spec)["result"] for _ in range(runs)]
+    result = results[0]
+    env.data = {"result": result, "verify": verify}
+    if not as_json:
+        print(f"scenario={scenario} seed={seed} "
+              f"window={result['window']}s n_vms={n_vms} "
+              f"steps={len(result['steps'])}")
+        for label in ("ndr", "pdr"):
+            point = result[label]
+            if point is None:
+                print(f"  {label.upper()}: none within bounds "
+                      f"[{result['rate_lo']:g}, {result['rate_hi']:g}]")
+            else:
+                print(f"  {label.upper()}: {point['rate']:g} ops/s "
+                      f"(goodput {point['goodput']:g}, "
+                      f"loss {point['loss']:.4f}, "
+                      f"p50 {point['p50_us']:g}us, "
+                      f"p99 {point['p99_us']:g}us)")
+        graceful = result["graceful"]
+        if graceful is not None:
+            verdict = "pass" if graceful["pass"] else "FAIL"
+            print(f"  2xNDR: goodput ratio "
+                  f"{graceful['goodput_ratio']:g}, jain "
+                  f"{graceful['jain_fairness']:g}, hung "
+                  f"{graceful['hung_ops']} -> {verdict}")
+        print(f"  fingerprint={result['fingerprint'][:16]}…")
+    for index, run in enumerate(results):
+        for leak in run["leaks"]:
+            env.fail("leak", f"RESOURCE LEAK (run {index + 1}): {leak}")
+    graceful = result["graceful"]
+    if graceful is not None and not graceful["pass"]:
+        env.fail("degradation",
+                 "GRACELESS DEGRADATION at 2xNDR: "
+                 f"goodput ratio {graceful['goodput_ratio']} "
+                 f"(need >= 0.8), jain {graceful['jain_fairness']} "
+                 f"(need >= 0.9), hung ops {graceful['hung_ops']} "
+                 "(need 0)")
+    if verify:
+        fingerprints = {run["fingerprint"] for run in results}
+        if len(fingerprints) != 1:
+            env.fail("divergence",
+                     "SEARCH DIVERGENCE: same seed+scenario produced "
+                     f"{len(fingerprints)} distinct fingerprints")
+        elif env.ok and not as_json:
+            print("verify OK: 2 searches bit-identical, no leaks")
+    return _finish(env, as_json)
+
+
 def _cmd_migrate(seed: int, streams: int, duration: float,
                  as_json: bool, verify: bool) -> int:
     env = Envelope("migrate")
@@ -585,6 +643,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   help="crash the busiest managed NSM "
                                        "mid-rebalance")
 
+    from repro.perf.capacity import SCENARIOS
+
+    capacity_parser = add_json(sub.add_parser(
+        "capacity", help="binary-search the NDR/PDR capacity envelope"))
+    capacity_parser.add_argument("--seed", type=int, default=0,
+                                 help="workload RNG seed (default 0)")
+    capacity_parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                                 default="mux",
+                                 help="offered-load scenario (default mux)")
+    capacity_parser.add_argument("--window", type=float, default=None,
+                                 help="measurement window in simulated "
+                                      "seconds (default per scenario)")
+    capacity_parser.add_argument("--vms", type=int, default=4,
+                                 help="competing VMs (default 4)")
+    capacity_parser.add_argument("--iterations", type=int, default=6,
+                                 help="bisection steps per threshold "
+                                      "(default 6)")
+    capacity_parser.add_argument("--verify", action="store_true",
+                                 help="run the search twice; fail unless "
+                                      "bit-identical and leak-free")
+
     job_parser = sub.add_parser(
         "job", help="control-plane jobs against the RunStore")
     job_sub = job_parser.add_subparsers(dest="job_command", required=True)
@@ -652,6 +731,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "autoscale":
             return _cmd_autoscale(args.seed, args.ticks, args.shards,
                                   args.chaos, args.json)
+        if args.command == "capacity":
+            return _cmd_capacity(args.scenario, args.seed, args.window,
+                                 args.vms, args.iterations,
+                                 args.json, args.verify)
         if args.command == "job":
             handler = {"submit": _cmd_job_submit,
                        "status": _cmd_job_status,

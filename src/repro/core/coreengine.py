@@ -235,6 +235,11 @@ class CoreEngine:
         # hot path pays only the attribute check.
         self.faults = None
 
+        # Overload control (repro.core.overload); None means overload
+        # control is disabled and the datapath pays only the attribute
+        # check.  Enabled via enable_overload_control().
+        self.overload = None
+
         # Live-migration state (§8's transparent-upgrade counterpart):
         # completed migration records, in order.
         self.migrations: List[dict] = []
@@ -249,6 +254,15 @@ class CoreEngine:
         self.nqes_dropped = 0
         self.nqes_dropped_backpressure = 0
         self.nqes_failed_fast = 0
+        #: NQEs failed fast with -EAGAIN by the overload shed backstop.
+        self.nqes_shed = 0
+        # Per-VM drop attribution (ISSUE 9): the host-global counters
+        # above answer "how much was lost", these answer "whose".  Keyed
+        # by the NQE's vm_id in either direction, so a tenant's losses
+        # are attributable through obs and GET /fleet.
+        self.vm_dropped: Dict[int, int] = {}
+        self.vm_dropped_backpressure: Dict[int, int] = {}
+        self.vm_shed: Dict[int, int] = {}
         self.heartbeats_sent = 0
         self.heartbeat_acks = 0
         self.nsms_quarantined = 0
@@ -723,6 +737,39 @@ class CoreEngine:
             # Stale events / credits / heartbeats: nothing to resolve.
             self._drop_nqe(nqe)
 
+    def _shed_nqe(self, nqe: Nqe) -> bool:
+        """Fail a VM-egress NQE fast with -EAGAIN (overload shed).
+
+        The switch-side backstop of the overload governor: instead of
+        letting an over-quota element queue toward a saturated NSM (or
+        vanish in a backpressure drop downstream), resolve it *now* so
+        the blocked guest caller unblocks with a retriable errno.
+        Returns False for ops that cannot carry an errno to a waiter
+        (events, credits) — those fall through to normal routing.
+        """
+        again = -RESULT_ERRNO["EAGAIN"]
+        op = nqe.op
+        vm_id = nqe.vm_id
+        if op in (NqeOp.SEND, NqeOp.SENDTO):
+            self._free_payload(nqe)
+            result = NQE_POOL.acquire(
+                NqeOp.SEND_RESULT, nqe.vm_id, nqe.queue_set_id,
+                nqe.socket_id, op_data=again, size=nqe.size,
+                created_at=self.sim.now)
+        elif op in _TOKENED_REQUESTS:
+            result = NQE_POOL.acquire(
+                NqeOp.OP_RESULT, nqe.vm_id, nqe.queue_set_id,
+                nqe.socket_id, op_data=again, token=nqe.token,
+                aux={"req_op": op}, created_at=self.sim.now)
+        else:
+            return False
+        NQE_POOL.release(nqe)
+        self.nqes_shed += 1
+        shed = self.vm_shed
+        shed[vm_id] = shed.get(vm_id, 0) + 1
+        self._push_to_vm(result, event=False)
+        return True
+
     def _push_to_vm(self, nqe: Nqe, event: bool) -> None:
         """Best-effort synchronous delivery into a VM's consume rings
         (failover paths only — the normal datapath goes through _deliver).
@@ -739,7 +786,7 @@ class CoreEngine:
         if ring.try_push(nqe, owner=self):
             device.wake()
         else:
-            self.nqes_dropped_backpressure += 1
+            self._count_backpressure_drop(nqe.vm_id)
             self._drop_nqe(nqe)
 
     def _free_payload(self, nqe: Nqe) -> None:
@@ -767,6 +814,31 @@ class CoreEngine:
         """Cap a VM's NQE (operation) rate (§4.4)."""
         self._op_limits[vm_id] = TokenBucket(
             self.sim, nqes_per_sec, nqes_per_sec * 0.01)
+
+    # -- overload control (repro.core.overload) --------------------------------
+
+    def enable_overload_control(self, **params):
+        """Arm the overload governor for this engine (idempotent).
+
+        ``params`` are forwarded to :class:`OverloadGovernor`.  Off by
+        default so un-governed timelines are byte-identical to earlier
+        builds; with it on, GuestLibs gate op issue on ``admit()``,
+        ServiceLibs clamp their receive windows, and the switch arms its
+        weight-aware EAGAIN shed backstop.
+        """
+        if self.overload is not None:
+            return self.overload
+        from repro.core.overload import OverloadGovernor
+        self.overload = OverloadGovernor(self.sim, self, **params)
+        return self.overload
+
+    def disable_overload_control(self) -> None:
+        """Disarm the governor: its sampler exits at the next tick and
+        its level pins to 0.  The governor object stays referenced so
+        end-of-run introspection (stats, fingerprints) still sees its
+        counters."""
+        if self.overload is not None:
+            self.overload.stop()
 
     def nsm_device(self, nsm_id: int) -> NKDevice:
         """The NK device registered for an NSM id."""
@@ -1020,6 +1092,10 @@ class CoreEngine:
             role = device.role
             is_vm = role == ROLE_VM
             obs = self.obs
+            # Overload accounting applies to VM egress only; the shed
+            # decision runs at the same per-NQE point as the scalar
+            # _route below, so both datapaths decide identically.
+            ov = self.overload if is_vm else None
             resolve = (self._resolve_vm_to_nsm if is_vm
                        else self._resolve_nsm_to_vm)
             deliver_fast = self._deliver_fast
@@ -1066,6 +1142,10 @@ class CoreEngine:
                     scratch[i] = None
                     if obs is not None:
                         obs.on_ce_switch(nqe, role)
+                    if (ov is not None and ov.ingest(nqe)
+                            and self._shed_nqe(nqe)):
+                        self.nqes_switched += 1
+                        continue
                     dest = resolve(reg, nqe)
                     if dest is not None and not deliver_fast(
                             dest[0], nqe, dest[1]):
@@ -1140,6 +1220,10 @@ class CoreEngine:
         if self.obs is not None:
             self.obs.on_ce_switch(nqe, device.role)
         if device.role == ROLE_VM:
+            ov = self.overload
+            if ov is not None and ov.ingest(nqe) and self._shed_nqe(nqe):
+                self.nqes_switched += 1
+                return
             dest = self._resolve_vm_to_nsm(reg, nqe)
         else:
             dest = self._resolve_nsm_to_vm(reg, nqe)
@@ -1251,6 +1335,11 @@ class CoreEngine:
         ring.produced += 1
         if count > ring.peak_depth:
             ring.peak_depth = count
+        if count > ring.hwm_depth:
+            ring.hwm_depth = count
+        ov = self.overload
+        if ov is not None and nqe.created_at > 0.0:
+            ov.note_delivery(self.sim.now - nqe.created_at)
         target_device.wake()
         return True
 
@@ -1287,11 +1376,20 @@ class CoreEngine:
             if deadline is None:
                 deadline = self.sim.now + self.deliver_stall_budget
             elif self.sim.now >= deadline:
-                self.nqes_dropped_backpressure += 1
+                self._count_backpressure_drop(nqe.vm_id)
                 self._drop_nqe(nqe)
                 return
             yield self.sim.timeout(2e-6)
+        ov = self.overload
+        if ov is not None and nqe.created_at > 0.0:
+            ov.note_delivery(self.sim.now - nqe.created_at)
         target_device.wake()
+
+    def _count_backpressure_drop(self, vm_id: int) -> None:
+        """Account a backpressure drop host-globally and to its VM."""
+        self.nqes_dropped_backpressure += 1
+        per_vm = self.vm_dropped_backpressure
+        per_vm[vm_id] = per_vm.get(vm_id, 0) + 1
 
     def _drop_nqe(self, nqe: Nqe) -> None:
         """Drop an NQE terminally: free any hugepage payload it
@@ -1299,6 +1397,9 @@ class CoreEngine:
         its final consumer — losing pooled elements here would bleed the
         pool dry under sustained faults)."""
         self.nqes_dropped += 1
+        per_vm = self.vm_dropped
+        vm_id = nqe.vm_id
+        per_vm[vm_id] = per_vm.get(vm_id, 0) + 1
         self._free_payload(nqe)
         NQE_POOL.release(nqe)
 
@@ -1316,6 +1417,7 @@ class CoreEngine:
             "nqes_dropped": self.nqes_dropped,
             "nqes_dropped_backpressure": self.nqes_dropped_backpressure,
             "nqes_failed_fast": self.nqes_failed_fast,
+            "nqes_shed": self.nqes_shed,
             "heartbeats_sent": self.heartbeats_sent,
             "heartbeat_acks": self.heartbeat_acks,
             "nsms_quarantined": self.nsms_quarantined,
@@ -1329,6 +1431,21 @@ class CoreEngine:
             "sched.stale_wakeups": self.stale_wakeups,
             "sched.vectorized": self.vectorized,
         }
+
+    def per_vm_drops(self) -> Dict[int, dict]:
+        """Per-VM loss attribution: terminal drops, backpressure drops,
+        and overload sheds, keyed by VM id (union of all three maps)."""
+        out: Dict[int, dict] = {}
+        for vm_id in sorted(set(self.vm_dropped)
+                            | set(self.vm_dropped_backpressure)
+                            | set(self.vm_shed)):
+            out[vm_id] = {
+                "dropped": self.vm_dropped.get(vm_id, 0),
+                "dropped_backpressure":
+                    self.vm_dropped_backpressure.get(vm_id, 0),
+                "shed": self.vm_shed.get(vm_id, 0),
+            }
+        return out
 
     def isolation_state(self) -> dict:
         """Per-VM token-bucket fill levels (bw in bits, ops in NQEs)."""

@@ -27,6 +27,7 @@ poller, so a dead NSM can never wedge a guest thread or leak an NQE.
 from __future__ import annotations
 
 import itertools
+import random
 from collections import deque, namedtuple
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
@@ -40,6 +41,7 @@ from repro.errors import (
     NotConnectedError,
     SocketError,
     TimedOutError,
+    TryAgainError,
     socket_error_for,
 )
 
@@ -197,7 +199,8 @@ class GuestLib:
                  cores: List[Core],
                  cost_model: CostModel = DEFAULT_COST_MODEL,
                  op_timeout: Optional[float] = None,
-                 max_op_retries: int = 3):
+                 max_op_retries: int = 3,
+                 backoff_seed: int = 0):
         self.sim = sim
         self.vm_id = vm_id
         self.device = device
@@ -207,8 +210,17 @@ class GuestLib:
         #: Per-attempt deadline for blocking control ops (None = wait
         #: forever, the pre-§8 behaviour).
         self.op_timeout = op_timeout
-        #: Extra attempts (with doubling deadlines) for IDEMPOTENT_OPS.
+        #: Extra attempts (with doubling, jittered deadlines) for
+        #: IDEMPOTENT_OPS, and the retry budget for admission rejections.
         self.max_op_retries = max_op_retries
+        #: Seeded per-VM RNG for backoff jitter.  Pure doubling meant
+        #: every guest that timed out at the same instant retried at the
+        #: same instant (a stampede that re-creates the overload that
+        #: caused the timeouts); the jitter desynchronizes them while
+        #: keeping runs bit-reproducible (same seed → same draws, drawn
+        #: only by this guest, in its own simulation order).
+        self._backoff_rng = random.Random(
+            ((backoff_seed & 0xFFFFFFFF) << 32) ^ (0x9E3779B9 * (vm_id + 1)))
 
         self.fd_table: Dict[int, NetKernelSocket] = {}
         self.epolls: Dict[int, EpollInstance] = {}
@@ -228,6 +240,15 @@ class GuestLib:
         self.nqes_received = 0
         self.op_timeouts = 0
         self.op_retries = 0
+        #: Admission-control rejections observed (one per refused
+        #: attempt; the op may still succeed after backing off).
+        self.admission_waits = 0
+        #: Ops that surfaced EAGAIN to the caller (admission retries
+        #: exhausted) — the overload-shed counterpart of op_timeouts.
+        self.ops_shed = 0
+        #: SEND_RESULTs carrying -EAGAIN (the switch shed a pipelined
+        #: send); transient, so they do not poison the socket's errno.
+        self.send_results_shed = 0
 
         # Observability (repro.obs); None = tracing disabled (default).
         self.obs = None
@@ -258,6 +279,56 @@ class GuestLib:
             raise BadFileDescriptorError(f"fd {fd}")
         return sock
 
+    # -- overload admission (repro.core.overload) ---------------------------------
+
+    def _governor(self):
+        """This VM's home-shard overload governor, or None when overload
+        control is disabled (the common case: two attribute loads)."""
+        reg = self.device.ce_registration
+        if reg is None:
+            return None
+        engine = reg.engine
+        return None if engine is None else engine.overload
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Seeded, jittered exponential backoff: the nominal doubling
+        span scaled by a uniform draw in [0.5, 1.5)."""
+        base = self.op_timeout if self.op_timeout is not None else 1e-3
+        return base * (2 ** attempt) * (0.5 + self._backoff_rng.random())
+
+    def _attempt_deadline(self, attempt: int) -> float:
+        """Per-attempt op deadline: exact on the first attempt (an
+        un-retried op draws no randomness), doubled with ±25% seeded
+        jitter on retries so deadline expiries desynchronize."""
+        span = self.op_timeout * (2 ** attempt)
+        if attempt == 0:
+            return span
+        return span * (0.75 + 0.5 * self._backoff_rng.random())
+
+    def _admission_gate(self, op: NqeOp):
+        """Block at the op-issue boundary while the host is overloaded.
+
+        The governor's ``admit`` spends this VM's per-window quota; a
+        rejection backs off (seeded jitter, doubling) and re-asks, up to
+        ``max_op_retries`` times, then fail-fasts with
+        :class:`TryAgainError` (EAGAIN).  The op was *never issued* when
+        EAGAIN surfaces — unlike ETIMEDOUT, the guest knows its fate.
+        """
+        gov = self._governor()
+        if gov is None or gov.admit(self.vm_id, op):
+            return
+        for attempt in range(self.max_op_retries):
+            self.admission_waits += 1
+            yield self.sim.timeout(self._backoff_delay(attempt))
+            if gov.admit(self.vm_id, op):
+                return
+        self.admission_waits += 1
+        self.ops_shed += 1
+        if self.obs is not None:
+            self.obs.on_op_shed(op)
+        raise TryAgainError(f"{op.name} rejected by overload admission "
+                            f"control after {self.max_op_retries} backoffs")
+
     # -- NQE plumbing -------------------------------------------------------------
 
     def _push(self, sock_home_qset: int, nqe: Nqe, data: bool = False):
@@ -284,6 +355,7 @@ class GuestLib:
         released by the poller — never leaked, never misdelivered (the
         retry uses a fresh token)."""
         core = self._core_for(vcpu)
+        yield from self._admission_gate(op)
         yield core.execute(self.cost.guestlib_nqe_prep, "guestlib.prep")
         attempts = 1 + (self.max_op_retries if op in IDEMPOTENT_OPS else 0)
         response = None
@@ -299,7 +371,7 @@ class GuestLib:
             if self.op_timeout is None:
                 response = yield event
                 break
-            deadline = self.sim.timeout(self.op_timeout * (2 ** attempt))
+            deadline = self.sim.timeout(self._attempt_deadline(attempt))
             yield self.sim.any_of([event, deadline])
             if event.triggered:
                 if not deadline.processed:
@@ -449,6 +521,7 @@ class GuestLib:
         total = 0
         view = memoryview(data)
         while total < len(data):
+            yield from self._admission_gate(NqeOp.SEND)
             chunk = view[total:total + RECV_CREDIT_QUANTUM]
             # Send-buffer backpressure: wait for SEND_RESULT credit.
             while sock.tx_inflight + len(chunk) > sock.tx_cap:
@@ -488,6 +561,7 @@ class GuestLib:
         if sock.errno:
             raise socket_error_for(sock.errno)
         core = self._core_for(vcpu)
+        yield from self._admission_gate(NqeOp.SENDTO)
         while sock.tx_inflight + len(data) > sock.tx_cap:
             event = self.sim.event()
             sock._writable_waiters.append(event)
@@ -791,7 +865,15 @@ class GuestLib:
         if nqe.op == NqeOp.SEND_RESULT:
             sock.tx_inflight = max(0, sock.tx_inflight - nqe.size)
             if nqe.op_data < 0:
-                sock.errno = ERRNO_NAMES.get(-nqe.op_data, "EIO")
+                errno_name = ERRNO_NAMES.get(-nqe.op_data, "EIO")
+                if errno_name == "EAGAIN":
+                    # The switch shed this pipelined send under overload:
+                    # the bytes were not delivered, but the socket is
+                    # healthy — poisoning errno would fail every later
+                    # send on a transient condition.
+                    self.send_results_shed += 1
+                else:
+                    sock.errno = errno_name
             self._wake(sock._writable_waiters)
             self._notify(sock)
         elif nqe.op == NqeOp.DATA_ARRIVED:

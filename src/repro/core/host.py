@@ -159,12 +159,14 @@ class NetKernelHost:
                user: str = "tenant",
                poll_window_sec: Optional[float] = None,
                op_timeout: Optional[float] = None,
-               max_op_retries: int = 3) -> GuestVM:
+               max_op_retries: int = 3,
+               backoff_seed: int = 0) -> GuestVM:
         """Boot a tenant VM and connect it to its serving NSM.
 
         With ``nsm=None`` CoreEngine load-balances the VM onto the
         least-loaded registered NSM (§4.3 fn. 1).  ``op_timeout`` /
-        ``max_op_retries`` arm GuestLib's per-op deadlines (§8).
+        ``max_op_retries`` arm GuestLib's per-op deadlines (§8);
+        ``backoff_seed`` seeds its retry/backoff jitter stream.
         """
         if name in self.vms:
             raise ConfigurationError(f"VM {name} already exists")
@@ -176,7 +178,8 @@ class NetKernelHost:
         vm.vm_id = vm_id
         vm.guestlib = GuestLib(self.sim, vm_id, device, vm.cores, self.cost,
                                op_timeout=op_timeout,
-                               max_op_retries=max_op_retries)
+                               max_op_retries=max_op_retries,
+                               backoff_seed=backoff_seed)
         if nsm is None:
             # Dynamic load balancing by CoreEngine (§4.3 fn. 1).
             nsm_id = self.coreengine.assign_vm_auto(vm_id)

@@ -242,6 +242,7 @@ NQE_POOL = NqePool()
 RESULT_OK = 0
 RESULT_ERRNO = {
     "EADDRINUSE": 98,
+    "EAGAIN": 11,
     "ECONNREFUSED": 111,
     "ECONNRESET": 104,
     "ETIMEDOUT": 110,

@@ -34,6 +34,7 @@ from typing import Deque, Dict, Optional, Tuple
 
 from repro.core.nk_device import NKDevice
 from repro.core.nqe import NQE_POOL, Nqe, NqeOp, RESULT_ERRNO
+from repro.core.overload import LEVEL_PRESSURED, governor_for_device
 from repro.cpu.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.errors import ConfigurationError, SocketError
 from repro.stack.tcp.tcb import tcb_manifest
@@ -103,6 +104,8 @@ class ServiceLib:
         self.nqes_processed = 0
         self.nqes_emitted = 0
         self.nqes_dropped_crashed = 0
+        #: Pump passes run with an overload-clamped receive window.
+        self.rx_window_clamps = 0
         #: Handlers currently executing (migration waits for zero before
         #: exporting, so no NQE is half-processed across the move).
         self.busy_handlers = 0
@@ -602,6 +605,28 @@ class ServiceLib:
         return
         yield  # pragma: no cover
 
+    def _effective_recv_window(self) -> int:
+        """Per-connection receive window after overload clamping.
+
+        When this NSM's home-shard governor reports pressure, ServiceLib
+        stops amplifying the backlog: the effective window halves at
+        level 1 (pressured) and quarters at level 2 (overloaded), floored
+        at one RX_CHUNK so established flows keep trickling.  TCP flow
+        control then pushes back on the remote sender — degradation, not
+        drops.
+        """
+        gov = governor_for_device(self.device)
+        if gov is None or gov.level == 0:
+            return self.recv_window_bytes
+        shift = 1 if gov.level == LEVEL_PRESSURED else 2
+        window = self.recv_window_bytes >> shift
+        floor = min(self.recv_window_bytes, RX_CHUNK)
+        if window < floor:
+            window = floor
+        if window < self.recv_window_bytes:
+            self.rx_window_clamps += 1
+        return window
+
     def _pump_rx(self, ctx: _SocketContext) -> None:
         """Move received bytes from the stack into hugepages + NQEs."""
         if self.crashed or ctx.lib is not self or ctx.vm_tuple is None:
@@ -609,9 +634,10 @@ class ServiceLib:
         sock = ctx.stack_sock
         core = self.cores[ctx.qset % len(self.cores)]
         vm_id, vm_qset, vm_sock = ctx.vm_tuple
-        while ctx.rx_window_used < self.recv_window_bytes:
+        recv_window = self._effective_recv_window()
+        while ctx.rx_window_used < recv_window:
             budget = min(RX_CHUNK,
-                         self.recv_window_bytes - ctx.rx_window_used)
+                         recv_window - ctx.rx_window_used)
             data = self.stack.recv(sock, budget)
             if not data:
                 break
@@ -792,6 +818,7 @@ class ServiceLib:
             "nqes_processed": self.nqes_processed,
             "nqes_emitted": self.nqes_emitted,
             "nqes_dropped_crashed": self.nqes_dropped_crashed,
+            "rx_window_clamps": self.rx_window_clamps,
             "live_contexts": len(self._by_nsm_id),
             "crashed": self.crashed,
         }

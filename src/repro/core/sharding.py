@@ -195,7 +195,8 @@ class _ShardEngine(CoreEngine):
 _SUMMED_COUNTERS = frozenset({
     "nqes_switched", "batches", "vms_migrated", "conns_migrated",
     "migration_parked_ops", "rate_limited_stalls", "nqes_dropped",
-    "nqes_dropped_backpressure", "nqes_failed_fast", "heartbeats_sent",
+    "nqes_dropped_backpressure", "nqes_failed_fast", "nqes_shed",
+    "heartbeats_sent",
     "heartbeat_acks", "nsms_quarantined", "vms_failed_over",
     "conns_reset_on_failover", "stale_wakeups", "handoffs_in",
     "handoffs_out",
@@ -419,6 +420,47 @@ class ShardedCoreEngine:
 
     def isolation_state(self) -> dict:
         return self.shards[0].isolation_state()
+
+    # -- overload control ------------------------------------------------------
+
+    def enable_overload_control(self, **params):
+        """Arm one overload governor per shard (each shard detects and
+        governs over its own device population) and return shard 0's."""
+        for shard in self.shards:
+            shard.enable_overload_control(**params)
+        return self.shards[0].overload
+
+    def disable_overload_control(self) -> None:
+        for shard in self.shards:
+            shard.disable_overload_control()
+
+    @property
+    def overload(self):
+        """Shard 0's governor (the representative for level checks);
+        use :meth:`overload_governors` for the full per-shard list."""
+        return self.shards[0].overload
+
+    def overload_governors(self) -> list:
+        return [shard.overload for shard in self.shards
+                if shard.overload is not None]
+
+    def set_vm_weight(self, vm_id: int, weight: float) -> None:
+        """Propagate a VM's admission weight to every shard governor."""
+        for shard in self.shards:
+            if shard.overload is not None:
+                shard.overload.set_vm_weight(vm_id, weight)
+
+    def per_vm_drops(self) -> Dict[int, dict]:
+        """Per-VM loss attribution merged across shards."""
+        merged: Dict[int, dict] = {}
+        for shard in self.shards:
+            for vm_id, row in shard.per_vm_drops().items():
+                into = merged.setdefault(
+                    vm_id, {"dropped": 0, "dropped_backpressure": 0,
+                            "shed": 0})
+                for key, value in row.items():
+                    into[key] += value
+        return merged
 
     # -- loop control ----------------------------------------------------------
 

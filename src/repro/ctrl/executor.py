@@ -63,4 +63,9 @@ def execute_job(spec: JobSpec,
 
         result = run_autoscale_scenario(**params)
         return {"kind": "autoscale", "params": params, "result": result}
+    if spec.kind == "capacity":
+        from repro.perf.capacity import run_capacity
+
+        result = run_capacity(**params)
+        return {"kind": "capacity", "params": params, "result": result}
     raise AssertionError(f"unvalidated job kind {spec.kind!r}")

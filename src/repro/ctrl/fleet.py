@@ -32,12 +32,17 @@ def fleet_snapshot(host) -> Dict[str, Any]:
             "active": bool(reg is not None and reg.active),
             "quarantined": quarantined.get(nsm.nsm_id),
         })
+    per_vm_drops = engine.per_vm_drops()
     vms = []
     for name, vm in sorted(host.vms.items()):
         vms.append({
             "name": name,
             "vm_id": vm.vm_id,
             "nsm_id": engine.vm_to_nsm.get(vm.vm_id),
+            "drops": per_vm_drops.get(vm.vm_id,
+                                      {"dropped": 0,
+                                       "dropped_backpressure": 0,
+                                       "shed": 0}),
         })
     shards = None
     if hasattr(engine, "shards"):
@@ -55,6 +60,8 @@ def fleet_snapshot(host) -> Dict[str, Any]:
         "quarantined": {str(k): v for k, v in sorted(quarantined.items())},
         "shards": shards,
         "counters": engine.stats(),
+        "overload": (engine.overload.stats()
+                     if engine.overload is not None else None),
     }
 
 

@@ -45,11 +45,13 @@ KIND_PARAMS: Dict[str, tuple] = {
                 "blackout_base_sec"),
     "autoscale": ("seed", "ticks", "n_clients", "n_ags", "ce_shards",
                   "chaos", "max_nsms"),
+    "capacity": ("seed", "scenario", "window", "n_vms", "rate_lo",
+                 "rate_hi", "iterations", "ndr_loss", "pdr_loss"),
 }
 
 #: Kinds whose runner takes a ``seed`` parameter the spec's seed should
 #: flow into when the caller did not pass one explicitly.
-_SEEDED_KINDS = ("chaos", "migrate", "autoscale")
+_SEEDED_KINDS = ("chaos", "migrate", "autoscale", "capacity")
 
 
 class JobSpec:

@@ -115,6 +115,18 @@ class OperationWouldBlockError(SocketError):
     errno_name = "EWOULDBLOCK"
 
 
+class TryAgainError(SocketError):
+    """EAGAIN: the host shed this operation under overload.
+
+    Distinct from :class:`TimedOutError` — an EAGAIN is an *admission*
+    decision taken before (or at) the switch, so the guest knows its op
+    never reached the NSM and may safely retry after backing off.  A
+    deadline expiry stays ETIMEDOUT because the op's fate is unknown.
+    """
+
+    errno_name = "EAGAIN"
+
+
 class TimedOutError(SocketError):
     """ETIMEDOUT: the operation (connect, or a deadlined NQE op whose
     NSM never answered) timed out."""
@@ -149,6 +161,7 @@ ERRNO_EXCEPTIONS = {
         AlreadyConnectedError,
         InvalidSocketStateError,
         OperationWouldBlockError,
+        TryAgainError,
         TimedOutError,
         MessageTooLargeError,
     )
@@ -211,6 +224,7 @@ __all__ = [
     "AlreadyConnectedError",
     "InvalidSocketStateError",
     "OperationWouldBlockError",
+    "TryAgainError",
     "TimedOutError",
     "TimeoutError_",
     "MessageTooLargeError",

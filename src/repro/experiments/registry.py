@@ -177,6 +177,11 @@ REGISTRY: Dict[str, ExperimentEntry] = {
         params=("seed", "ticks", "ce_shards", "n_clients", "n_ags",
                 "max_nsms"),
         title="NSM autoscaling on the AG-trace load signal"),
+    # Overload control (§7 follow-on): where multiplexing saturates.
+    "fig-capacity": ExperimentEntry(
+        "fig_capacity",
+        params=("seed", "scenarios", "n_vms", "iterations"),
+        title="NDR/PDR capacity envelope with overload control"),
 }
 
 _PADDED_ID = re.compile(r"^(fig|table)0+(\d+)$")

@@ -25,7 +25,7 @@ from typing import Optional
 
 from repro.core.host import NetKernelHost
 from repro.core.nqe import NQE_POOL
-from repro.errors import SocketError, TimedOutError
+from repro.errors import SocketError, TimedOutError, TryAgainError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, named_plan
 from repro.net.fabric import Network
@@ -87,6 +87,11 @@ def _chaos_client(sim, api, counters, stop, fault_onset: float):
                     and counters["recovered_at"] is None):
                 counters["recovered_at"] = sim.now
             yield sim.timeout(REQUEST_PACING)
+        except TryAgainError:
+            # Admission control: the op provably never issued, so the
+            # socket is intact — back off and retry on it.
+            counters["sheds"] += 1
+            yield sim.timeout(2e-3)
         except TimedOutError:
             counters["timeouts"] += 1
             sock = yield from _scrap(api, sock)
@@ -162,6 +167,7 @@ def run_chaos(seed: int = 0, plan_name: str = "nsm-crash",
         "requests_ok": 0,
         "resets": 0,
         "timeouts": 0,
+        "sheds": 0,
         "other_errors": 0,
         "recovered_at": None,
     }
@@ -209,9 +215,16 @@ def run_chaos(seed: int = 0, plan_name: str = "nsm-crash",
                 "nqes_received": vm.guestlib.nqes_received,
                 "op_timeouts": vm.guestlib.op_timeouts,
                 "op_retries": vm.guestlib.op_retries,
+                "admission_waits": vm.guestlib.admission_waits,
+                "ops_shed": vm.guestlib.ops_shed,
+                "send_results_shed": vm.guestlib.send_results_shed,
             }
             for name, vm in sorted(host.vms.items())
         },
+        "per_vm_drops": {str(vm_id): drops for vm_id, drops
+                         in ce.per_vm_drops().items()},
+        "overload": (ce.overload.stats()
+                     if ce.overload is not None else None),
         "faults": injector.stats(),
     }
 

@@ -41,6 +41,7 @@ class FaultInjector:
         self.completions_delayed = 0
         self.squeezes = 0
         self.squeezed_bytes = 0
+        self.overloads = 0
 
     # -- wiring ------------------------------------------------------------
 
@@ -91,6 +92,10 @@ class FaultInjector:
                     event.at,
                     lambda e=event: self._squeeze(e.target, e.param,
                                                   e.duration))
+            elif event.kind == "overload":
+                self.sim.call_at(
+                    event.at,
+                    lambda e=event: self._force_overload(e.duration))
             elif event.kind == "doorbell-loss":
                 self._doorbell_windows.append(
                     (event.at, event.end, event.probability,
@@ -128,6 +133,22 @@ class FaultInjector:
                 self._held_buffers.remove(buffer)
 
         self.sim.call_at(self.sim.now + duration, release)
+
+    def _force_overload(self, duration: float) -> None:
+        """Pin the host's overload governor(s) at level 2 until ``now +
+        duration``.  Enables overload control first if the host runs
+        without it (the fault is the opt-in)."""
+        engine = self.host.coreengine
+        if engine.overload is None:
+            engine.enable_overload_control()
+        until = self.sim.now + duration
+        if hasattr(engine, "overload_governors"):
+            governors = engine.overload_governors()
+        else:
+            governors = [engine.overload]
+        self.overloads += 1
+        for governor in governors:
+            governor.force_overload(until)
 
     # -- CoreEngine hooks (hot path; must stay cheap) ----------------------
 
@@ -174,5 +195,6 @@ class FaultInjector:
             "completions_delayed": self.completions_delayed,
             "squeezes": self.squeezes,
             "squeezed_bytes": self.squeezed_bytes,
+            "overloads": self.overloads,
             "buffers_held": len(self._held_buffers),
         }

@@ -20,6 +20,7 @@ FAULT_KINDS = frozenset((
     "ring-slot-drop",       # CE->ring writes lost with probability p
     "hugepage-exhaustion",  # a slab of the VM's region held hostage
     "delayed-completion",   # CE delivery toward a device delayed by d sec
+    "overload",             # pin the overload governor at level 2
 ))
 
 #: CLI-facing canonical plan names (see :func:`named_plan`).
@@ -30,6 +31,7 @@ PLAN_NAMES = (
     "ring-drop",
     "hugepage-squeeze",
     "delayed-completion",
+    "overload",
 )
 
 
@@ -129,6 +131,13 @@ class FaultPlan:
         return self._add(FaultEvent("hugepage-exhaustion", at, target=vm,
                                     duration=duration, param=fraction))
 
+    def overload(self, at: float, duration: float) -> "FaultPlan":
+        """Pin the host's overload governor(s) at level 2 (overloaded)
+        for ``duration`` seconds: admission control and switch-side
+        shedding engage regardless of the measured pressure signals.
+        Enables overload control on the engine if it was off."""
+        return self._add(FaultEvent("overload", at, duration=duration))
+
     def delayed_completion(self, start: float, duration: float,
                            delay: float,
                            target: Optional[str] = None) -> "FaultPlan":
@@ -174,6 +183,8 @@ def named_plan(name: str, duration: float, seed: int = 0,
         plan.hugepage_squeeze(start, vm, fraction=0.8, duration=window)
     elif name == "delayed-completion":
         plan.delayed_completion(start, window, delay=200e-6)
+    elif name == "overload":
+        plan.overload(start, duration=window)
     else:
         raise ConfigurationError(
             f"unknown plan {name!r}; choose from {PLAN_NAMES}")

@@ -33,6 +33,10 @@ class SpscRing:
         self.consumed = 0
         self.full_rejections = 0
         self.peak_depth = 0
+        #: Windowed occupancy high-watermark: like ``peak_depth`` but
+        #: resettable via :meth:`take_hwm`, so the overload detector can
+        #: sample per-interval peaks instead of a lifetime maximum.
+        self.hwm_depth = 0
         #: Drains that built a fresh list (``pop_batch``).  The vectorized
         #: datapath drains through ``drain_into`` instead, which reuses a
         #: caller-owned scratch list; perf smoke asserts this counter stays
@@ -83,13 +87,36 @@ class SpscRing:
 
     # -- produce ---------------------------------------------------------------
 
+    def _note_full(self) -> None:
+        """The single full-rejection accounting point.
+
+        Both push paths (``try_push`` and ``push_batch``) funnel through
+        here, so rejection semantics — one rejection per refused push or
+        per overflowing batch — live in exactly one place.
+        """
+        self.full_rejections += 1
+
+    def _note_depth(self, depth: int) -> None:
+        """Record a post-push depth against both high-watermarks."""
+        if depth > self.peak_depth:
+            self.peak_depth = depth
+        if depth > self.hwm_depth:
+            self.hwm_depth = depth
+
+    def take_hwm(self) -> int:
+        """Return the windowed occupancy high-watermark and restart the
+        window at the current depth (the overload detector's sampler)."""
+        hwm = self.hwm_depth
+        self.hwm_depth = self._count
+        return hwm
+
     def try_push(self, item: Any, owner: Optional[object] = None) -> bool:
         """Push one item; returns False (and counts a rejection) if full."""
         if owner is not None and self._producer is not owner:
             self.claim_producer(owner)
         count = self._count
         if count == self.capacity:
-            self.full_rejections += 1
+            self._note_full()
             return False
         tail = self._tail
         self._slots[tail] = item
@@ -98,8 +125,7 @@ class SpscRing:
         count += 1
         self._count = count
         self.produced += 1
-        if count > self.peak_depth:
-            self.peak_depth = count
+        self._note_depth(count)
         return True
 
     def push(self, item: Any, owner: Optional[object] = None) -> None:
@@ -127,7 +153,7 @@ class SpscRing:
         if n > free:
             # One rejection per overflowing batch, matching the scalar
             # loop's behaviour of counting the first refused element.
-            self.full_rejections += 1
+            self._note_full()
             n = free
         if n <= 0:
             return 0
@@ -143,8 +169,7 @@ class SpscRing:
         depth += n
         self._count = depth
         self.produced += n
-        if depth > self.peak_depth:
-            self.peak_depth = depth
+        self._note_depth(depth)
         return n
 
     # -- consume -----------------------------------------------------------------

@@ -103,6 +103,21 @@ class Observability:
         self.registry.counter("guestlib.op_retries",
                               op=getattr(op, "name", str(op))).inc()
 
+    # -- overload hooks ----------------------------------------------------
+
+    def on_overload_level(self, engine, old_level: int, new_level: int,
+                          occupancy: float, latency_ewma: float) -> None:
+        """A governor changed pressure level (reads only; no events)."""
+        self.registry.counter("overload.level_transitions").inc()
+        self.registry.gauge("overload.level").set(new_level)
+        self.registry.gauge("overload.occupancy").set(occupancy)
+        self.registry.gauge("overload.latency_ewma").set(latency_ewma)
+
+    def on_op_shed(self, op) -> None:
+        """A guest op failed fast with EAGAIN (admission control)."""
+        self.registry.counter("guestlib.op_sheds",
+                              op=getattr(op, "name", str(op))).inc()
+
     # -- wiring ------------------------------------------------------------
 
     def attach_host(self, host,
@@ -227,5 +242,15 @@ class Observability:
         if autoscale:
             report["autoscale"] = autoscale
         if self._host is not None:
-            report["coreengine"] = self._host.coreengine.stats()
+            engine = self._host.coreengine
+            report["coreengine"] = engine.stats()
+            per_vm_drops = getattr(engine, "per_vm_drops", None)
+            if per_vm_drops is not None:
+                drops = per_vm_drops()
+                if drops:
+                    report["per_vm_drops"] = {str(vm): d
+                                              for vm, d in drops.items()}
+            governor = getattr(engine, "overload", None)
+            if governor is not None:
+                report["overload"] = governor.stats()
         return report

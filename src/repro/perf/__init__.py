@@ -14,3 +14,4 @@ from repro.perf.bench import (  # noqa: F401
     run_benchmarks,
     write_results,
 )
+from repro.perf.capacity import jain_fairness, run_capacity  # noqa: F401

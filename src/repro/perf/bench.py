@@ -470,6 +470,24 @@ def bench_fig20_rps(quick: bool) -> dict:
             "requests_per_wall_sec": requests / wall if wall else 0.0}
 
 
+def bench_capacity_mux(quick: bool) -> dict:
+    """NDR/PDR bisection over the mux scenario, overload governor on."""
+    from repro.perf.capacity import run_capacity
+
+    window, iterations = (0.005, 3) if quick else (0.02, 5)
+    wall, peak, out = _measure(
+        lambda: run_capacity(scenario="mux", seed=0, window=window,
+                             iterations=iterations))
+    graceful = out["graceful"]
+    return {"wall_s": wall, "events": out["events_processed"],
+            "peak_rss": peak, "steps": len(out["steps"]),
+            "ndr_ops": out["ndr"]["rate"] if out["ndr"] else None,
+            "pdr_ops": out["pdr"]["rate"] if out["pdr"] else None,
+            "graceful": graceful["pass"] if graceful else None,
+            "leaks": len(out["leaks"]),
+            "fingerprint": out["fingerprint"]}
+
+
 #: name -> fn(quick) -> result dict.
 BENCHMARKS = {
     "events": bench_events,
@@ -480,6 +498,7 @@ BENCHMARKS = {
     "fig08_sharded": _bench_fig08_sharded(4, 2_500,
                                           nqes_quick=4, nqes_full=100),
     "fig20_rps": bench_fig20_rps,
+    "capacity_mux": bench_capacity_mux,
 }
 
 

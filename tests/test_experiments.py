@@ -49,10 +49,11 @@ class TestRegistry:
         extras = set(REGISTRY) - expected
         # Beyond the paper's own figures/tables we register ablations,
         # the §8 robustness experiments (NSM failover, live migration),
-        # and the §7.3 fleet-scale follow-on (NSM autoscaling).
+        # and the §7 operational follow-ons (NSM autoscaling, the
+        # NDR/PDR capacity envelope).
         assert all(x.startswith("ablation-")
                    or x in ("fig-failover", "fig-migration",
-                            "fig-autoscale")
+                            "fig-autoscale", "fig-capacity")
                    for x in extras)
 
     def test_unknown_id_raises(self):
