@@ -6,11 +6,34 @@ connection is switched, completed when the NSM's response supplies its
 socket id, and removed at close.  The table is what makes flexible
 multiplexing possible: one NSM serves many VMs, distinguished purely by
 tuple.
+
+Indexing
+--------
+
+The table is the host-global hot spot of a sharded switch: placement
+consults :meth:`nsm_loads` per VM boot, failover walks
+:meth:`entries_for_nsm`, migration walks :meth:`entries_for_vm`.  With
+a single dict those were all O(total-connections) scans — fine at 1k
+VMs, fatal at 100k.  Every owner-scoped query is therefore served from
+per-owner buckets maintained incrementally on insert/complete/rebind/
+remove:
+
+* ``_vm_entries[vm_id]``  — this VM's live entries, insertion-ordered;
+* ``_nsm_entries[nsm_id]`` — entries served by this NSM (pending ones
+  included), with a per-entry ``seq`` so :meth:`entries_for_nsm` can
+  reproduce the exact global-insertion-order walk the old full scan
+  performed (rebinding moves an entry between buckets but must not
+  reorder the failover sweep);
+* ``_nsm_counts[nsm_id]``  — live entry count, so :meth:`nsm_loads` is
+  O(active NSMs), not O(connections).
+
+The buckets are internal: the public API is unchanged, so CoreEngine,
+failover, migration, overload and the autoscaler are untouched callers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import NetKernelError
 
@@ -25,14 +48,16 @@ class ConnectionTableError(NetKernelError):
 class Entry:
     """One bidirectional mapping; nsm_socket_id may be pending (Fig. 6)."""
 
-    __slots__ = ("vm_tuple", "nsm_id", "nsm_queue_set", "nsm_socket_id")
+    __slots__ = ("vm_tuple", "nsm_id", "nsm_queue_set", "nsm_socket_id",
+                 "seq")
 
     def __init__(self, vm_tuple: VmTuple, nsm_id: int, nsm_queue_set: int,
-                 nsm_socket_id: Optional[int] = None):
+                 nsm_socket_id: Optional[int] = None, seq: int = 0):
         self.vm_tuple = vm_tuple
         self.nsm_id = nsm_id
         self.nsm_queue_set = nsm_queue_set
         self.nsm_socket_id = nsm_socket_id
+        self.seq = seq
 
     @property
     def complete(self) -> bool:
@@ -46,24 +71,61 @@ class Entry:
 
 
 class ConnectionTable:
-    """Bidirectional VM-tuple ↔ NSM-tuple map."""
+    """Bidirectional VM-tuple ↔ NSM-tuple map with per-owner indexes."""
 
     def __init__(self):
         self._by_vm: Dict[VmTuple, Entry] = {}
         self._by_nsm: Dict[NsmTuple, Entry] = {}
+        #: vm id → this VM's entries (dict-as-ordered-set; entries hash
+        #: by identity, and a VM's entries never change VM, so bucket
+        #: order is exactly global insertion order filtered to the VM).
+        self._vm_entries: Dict[int, Dict[Entry, None]] = {}
+        #: nsm id → entries served here, pending ones included.  Rebind
+        #: appends to the new bucket, so bucket order alone is not
+        #: insertion order — entries_for_nsm restores it via ``seq``.
+        self._nsm_entries: Dict[int, Dict[Entry, None]] = {}
+        #: nsm id → live entry count (zero-count keys are dropped, so
+        #: nsm_loads never reports retired NSMs).
+        self._nsm_counts: Dict[int, int] = {}
+        self._seq = 0
         self.inserted = 0
         self.removed = 0
 
     def __len__(self) -> int:
         return len(self._by_vm)
 
+    # -- incremental index maintenance ----------------------------------------
+
+    def _index_add(self, entry: Entry) -> None:
+        vm_id = entry.vm_tuple[0]
+        self._vm_entries.setdefault(vm_id, {})[entry] = None
+        self._nsm_entries.setdefault(entry.nsm_id, {})[entry] = None
+        self._nsm_counts[entry.nsm_id] = \
+            self._nsm_counts.get(entry.nsm_id, 0) + 1
+
+    def _index_drop_nsm(self, entry: Entry) -> None:
+        bucket = self._nsm_entries.get(entry.nsm_id)
+        if bucket is not None:
+            bucket.pop(entry, None)
+            if not bucket:
+                del self._nsm_entries[entry.nsm_id]
+        count = self._nsm_counts.get(entry.nsm_id, 0) - 1
+        if count > 0:
+            self._nsm_counts[entry.nsm_id] = count
+        else:
+            self._nsm_counts.pop(entry.nsm_id, None)
+
+    # -- Fig. 6 lifecycle ------------------------------------------------------
+
     def insert(self, vm_tuple: VmTuple, nsm_id: int,
                nsm_queue_set: int) -> Entry:
         """Step (1)-(2) of Fig. 6: new entry with a pending NSM socket id."""
         if vm_tuple in self._by_vm:
             raise ConnectionTableError(f"duplicate VM tuple {vm_tuple}")
-        entry = Entry(vm_tuple, nsm_id, nsm_queue_set)
+        entry = Entry(vm_tuple, nsm_id, nsm_queue_set, seq=self._seq)
+        self._seq += 1
         self._by_vm[vm_tuple] = entry
+        self._index_add(entry)
         self.inserted += 1
         return entry
 
@@ -79,7 +141,16 @@ class ConnectionTable:
                     f"{entry.nsm_socket_id} vs {nsm_socket_id}")
             return entry
         entry.nsm_socket_id = nsm_socket_id
-        self._by_nsm[entry.nsm_tuple] = entry
+        nsm_tuple = entry.nsm_tuple
+        holder = self._by_nsm.get(nsm_tuple)
+        if holder is not None and holder is not entry:
+            # Two live connections claiming one NSM socket would alias
+            # silently (last writer wins); that is always a bug.
+            entry.nsm_socket_id = None
+            raise ConnectionTableError(
+                f"NSM tuple {nsm_tuple} already bound to VM tuple "
+                f"{holder.vm_tuple}; refusing to alias it for {vm_tuple}")
+        self._by_nsm[nsm_tuple] = entry
         return entry
 
     def lookup_vm(self, vm_tuple: VmTuple) -> Optional[Entry]:
@@ -94,16 +165,28 @@ class ConnectionTable:
             return
         if entry.nsm_tuple is not None:
             self._by_nsm.pop(entry.nsm_tuple, None)
+        bucket = self._vm_entries.get(vm_tuple[0])
+        if bucket is not None:
+            bucket.pop(entry, None)
+            if not bucket:
+                del self._vm_entries[vm_tuple[0]]
+        self._index_drop_nsm(entry)
         self.removed += 1
 
-    def entries_for_vm(self, vm_id: int):
-        """All live entries belonging to one VM (for teardown/migration)."""
-        return [e for t, e in self._by_vm.items() if t[0] == vm_id]
+    # -- owner-scoped queries (O(per-owner), never full scans) -----------------
 
-    def entries_for_nsm(self, nsm_id: int):
+    def entries_for_vm(self, vm_id: int) -> List[Entry]:
+        """All live entries belonging to one VM (for teardown/migration)."""
+        return list(self._vm_entries.get(vm_id, ()))
+
+    def entries_for_nsm(self, nsm_id: int) -> List[Entry]:
         """All live entries served by one NSM (for quarantine/failover),
-        including entries whose NSM socket id is still pending."""
-        return [e for e in self._by_vm.values() if e.nsm_id == nsm_id]
+        including entries whose NSM socket id is still pending, in global
+        insertion order (the order the old full scan walked them in)."""
+        bucket = self._nsm_entries.get(nsm_id)
+        if bucket is None:
+            return []
+        return sorted(bucket, key=lambda entry: entry.seq)
 
     def rebind_vm(self, vm_id: int, new_nsm_id: int,
                   queue_set_for) -> int:
@@ -114,22 +197,31 @@ class ConnectionTable:
         for entry in self.entries_for_vm(vm_id):
             if entry.nsm_tuple is not None:
                 self._by_nsm.pop(entry.nsm_tuple, None)
+            self._index_drop_nsm(entry)
             entry.nsm_id = new_nsm_id
             entry.nsm_queue_set = queue_set_for(entry.vm_tuple)
+            self._nsm_entries.setdefault(new_nsm_id, {})[entry] = None
+            self._nsm_counts[new_nsm_id] = \
+                self._nsm_counts.get(new_nsm_id, 0) + 1
             if entry.nsm_tuple is not None:
+                holder = self._by_nsm.get(entry.nsm_tuple)
+                if holder is not None and holder is not entry:
+                    raise ConnectionTableError(
+                        f"rebind of VM {vm_id} would alias NSM tuple "
+                        f"{entry.nsm_tuple} already bound to VM tuple "
+                        f"{holder.vm_tuple}")
                 self._by_nsm[entry.nsm_tuple] = entry
             rebound += 1
         return rebound
 
-    def vms_for_nsm(self, nsm_id: int):
+    def vms_for_nsm(self, nsm_id: int) -> List[int]:
         """Sorted ids of VMs with at least one live entry on this NSM
         (the autoscaler's drain list when retiring an NSM)."""
-        return sorted({e.vm_tuple[0] for e in self._by_vm.values()
-                       if e.nsm_id == nsm_id})
+        return sorted({entry.vm_tuple[0]
+                       for entry in self._nsm_entries.get(nsm_id, ())})
 
     def nsm_loads(self) -> Dict[int, int]:
-        """Live connection count per NSM id (the load-balancing signal)."""
-        loads: Dict[int, int] = {}
-        for entry in self._by_vm.values():
-            loads[entry.nsm_id] = loads.get(entry.nsm_id, 0) + 1
-        return loads
+        """Live connection count per NSM id (the load-balancing signal).
+        Maintained incrementally: O(NSMs with live entries), not
+        O(connections)."""
+        return dict(self._nsm_counts)

@@ -408,9 +408,15 @@ class CoreEngine:
         return [nid for nid, reg in self._nsms.items()
                 if reg.active and nid != exclude]
 
-    def _least_loaded_nsm(self, exclude: Optional[int] = None) -> Optional[int]:
-        """The active NSM with the fewest live connections, or None."""
-        candidates = self._active_nsm_ids(exclude)
+    def _least_loaded_nsm(self, exclude: Optional[int] = None,
+                          among: Optional[List[int]] = None) -> Optional[int]:
+        """The active NSM with the fewest live connections, or None.
+        ``among`` restricts the candidate pool (the sharded facade uses
+        it for same-shard placement preference).  O(active NSMs): the
+        table keeps per-NSM counts incrementally, so this never walks
+        the connection population."""
+        candidates = among if among is not None \
+            else self._active_nsm_ids(exclude)
         if not candidates:
             return None
         loads = self.table.nsm_loads()
@@ -1290,8 +1296,13 @@ class CoreEngine:
             # event path skips the tuple build and lookup entirely.
             vm_tuple = (nqe.vm_id, nqe.queue_set_id, nqe.socket_id)
             entry = self.table.lookup_vm(vm_tuple)
-            if entry is not None and not entry.complete and nqe.op_data >= 0:
+            if entry is not None and not entry.complete and nqe.op_data > 0:
                 # Fig. 6 step (4): response carries the NSM socket id.
+                # Only a positive op_data announces one — ServiceLib's
+                # ids start at 1, and a 0 is a plain success status
+                # (completing on those used to alias every control-op
+                # entry onto NSM socket 0; the table now rejects such
+                # collisions instead of silently last-writer-winning).
                 self.table.complete(vm_tuple, nqe.op_data)
             aux = nqe.aux
             if type(aux) is dict and aux.get("req_op") == NqeOp.CLOSE:

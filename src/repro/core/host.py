@@ -93,14 +93,20 @@ class NetKernelHost:
     def add_nsm(self, name: str, vcpus: int = 1, stack: str = "kernel",
                 cc_factory: Optional[Callable] = None,
                 nic_rate_bps: Optional[float] = None,
-                stack_kwargs: Optional[dict] = None) -> NetworkStackModule:
+                stack_kwargs: Optional[dict] = None,
+                shard: Optional[int] = None) -> NetworkStackModule:
         """Boot an NSM running the given stack flavour.
 
         ``nic_rate_bps`` caps the NSM's fabric links (an SR-IOV VF rate,
-        as in Fig. 21's 10G NSM).
+        as in Fig. 21's 10G NSM).  ``shard`` pins the NSM's NK device to
+        one switching shard (sharded hosts only; the autoscaler uses it
+        to spawn onto the emptiest shard).
         """
         if name in self.nsms:
             raise ConfigurationError(f"NSM {name} already exists")
+        if shard is not None and not hasattr(self.coreengine, "shards"):
+            raise ConfigurationError(
+                f"shard={shard} needs a sharded host (ce_shards > 1)")
         nsm = NetworkStackModule(self.sim, name, vcpus, self.cost)
         stack_kwargs = dict(stack_kwargs or {})
         if stack == "kernel":
@@ -117,7 +123,9 @@ class NetKernelHost:
         else:
             raise ConfigurationError(
                 f"unknown stack {stack!r}; choose from {self.STACK_FLAVOURS}")
-        nsm_id, device = self.coreengine.register_nsm(name, queue_sets=vcpus)
+        register_kwargs = {} if shard is None else {"shard": shard}
+        nsm_id, device = self.coreengine.register_nsm(
+            name, queue_sets=vcpus, **register_kwargs)
         nsm.nsm_id = nsm_id
         nsm.servicelib = ServiceLib(self.sim, nsm_id, device, nsm.stack,
                                     nsm.cores, self.cost)
@@ -160,21 +168,29 @@ class NetKernelHost:
                poll_window_sec: Optional[float] = None,
                op_timeout: Optional[float] = None,
                max_op_retries: int = 3,
-               backoff_seed: int = 0) -> GuestVM:
+               backoff_seed: int = 0,
+               shard: Optional[int] = None) -> GuestVM:
         """Boot a tenant VM and connect it to its serving NSM.
 
         With ``nsm=None`` CoreEngine load-balances the VM onto the
-        least-loaded registered NSM (§4.3 fn. 1).  ``op_timeout`` /
-        ``max_op_retries`` arm GuestLib's per-op deadlines (§8);
-        ``backoff_seed`` seeds its retry/backoff jitter stream.
+        least-loaded registered NSM (§4.3 fn. 1) — on a sharded host
+        preferring an NSM homed on the VM's own shard, so auto-placed
+        traffic stays shard-local.  ``op_timeout`` / ``max_op_retries``
+        arm GuestLib's per-op deadlines (§8); ``backoff_seed`` seeds its
+        retry/backoff jitter stream.  ``shard`` pins the VM's NK device
+        to one switching shard (sharded hosts only).
         """
         if name in self.vms:
             raise ConfigurationError(f"VM {name} already exists")
+        if shard is not None and not hasattr(self.coreengine, "shards"):
+            raise ConfigurationError(
+                f"shard={shard} needs a sharded host (ce_shards > 1)")
         vm = GuestVM(self.sim, name, vcpus, user=user, cost_model=self.cost)
         region = HugepageRegion(name=f"{name}.hp")
+        register_kwargs = {} if shard is None else {"shard": shard}
         vm_id, device = self.coreengine.register_vm(
             name, queue_sets=vcpus, hugepages=region,
-            poll_window_sec=poll_window_sec)
+            poll_window_sec=poll_window_sec, **register_kwargs)
         vm.vm_id = vm_id
         vm.guestlib = GuestLib(self.sim, vm_id, device, vm.cores, self.cost,
                                op_timeout=op_timeout,

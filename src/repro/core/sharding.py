@@ -117,6 +117,13 @@ class _ShardEngine(CoreEngine):
     def _active_nsm_ids(self, exclude: Optional[int] = None) -> List[int]:
         return self.cluster._active_nsm_ids(exclude)
 
+    def deregister(self, numeric_id: int) -> None:
+        # A guest can reach this directly through its shard's control
+        # ring (DEREGISTER op); the facade's home directory must not be
+        # left pointing at the corpse.
+        CoreEngine.deregister(self, numeric_id)
+        self.cluster._drop_home(numeric_id)
+
     # -- cross-shard handoff --------------------------------------------------
 
     def _home_of(self, device: NKDevice) -> "CoreEngine":
@@ -300,19 +307,66 @@ class ShardedCoreEngine:
         return nsm_id, device
 
     def deregister(self, numeric_id: int) -> None:
-        home = self._vm_home.pop(numeric_id, None)
+        """Release a device wherever it lives.  Unknown ids are a silent
+        no-op, exactly like :meth:`CoreEngine.deregister` — the control
+        ring exposes DEREGISTER to guests, so an unknown id must never
+        raise.  Devices registered directly on a shard engine (bypassing
+        the facade) are found by scanning the shards."""
+        home = self._vm_home.get(numeric_id) or self._nsm_home.get(numeric_id)
+        if home is None:
+            home = next((shard for shard in self.shards
+                         if numeric_id in shard._vms
+                         or numeric_id in shard._nsms), None)
         if home is not None:
             home.deregister(numeric_id)
-            return
-        home = self._nsm_home.pop(numeric_id, None)
-        if home is not None:
-            home.deregister(numeric_id)
+
+    def _drop_home(self, numeric_id: int) -> None:
+        """Forget a deregistered device's home-shard entry (called from
+        the shard side too, so a guest-initiated DEREGISTER switched on
+        a shard's control ring cannot leave the directory stale)."""
+        self._vm_home.pop(numeric_id, None)
+        self._nsm_home.pop(numeric_id, None)
 
     def shard_of_vm(self, vm_id: int) -> int:
-        return self._vm_home[vm_id].shard_index
+        home = self._vm_home.get(vm_id)
+        if home is None:
+            raise ConfigurationError(f"unknown VM id {vm_id}")
+        return home.shard_index
 
     def shard_of_nsm(self, nsm_id: int) -> int:
-        return self._nsm_home[nsm_id].shard_index
+        home = self._nsm_home.get(nsm_id)
+        if home is None:
+            raise ConfigurationError(f"unknown NSM id {nsm_id}")
+        return home.shard_index
+
+    def shard_loads(self) -> Dict[int, dict]:
+        """Per-shard placement/load view — the autoscaler's shard-scaling
+        signal and the fleet snapshot's shard report: active NSM count,
+        homed (live) VM count, and live connections served from each
+        shard.  O(devices), using the table's incremental per-NSM
+        counts, never the connection population."""
+        loads = self.table.nsm_loads()
+        out: Dict[int, dict] = {
+            shard.shard_index: {"nsms": 0, "vms": 0, "connections": 0}
+            for shard in self.shards}
+        for nid in self._active_nsm_ids():
+            row = out[self._nsm_home[nid].shard_index]
+            row["nsms"] += 1
+            row["connections"] += loads.get(nid, 0)
+        for vm_id, home in self._vm_home.items():
+            if vm_id in home._vms:
+                out[home.shard_index]["vms"] += 1
+        return out
+
+    def emptiest_shard(self) -> int:
+        """Where the next NSM belongs: the shard with the fewest active
+        NSMs, breaking ties by fewest live connections, then by index —
+        so an NSM fleet spread by the autoscaler converges toward one
+        serving NSM per switching core before doubling up anywhere."""
+        loads = self.shard_loads()
+        return min(loads, key=lambda index: (loads[index]["nsms"],
+                                             loads[index]["connections"],
+                                             index))
 
     # -- directory (shard engines call back into these) -----------------------
 
@@ -331,12 +385,29 @@ class ShardedCoreEngine:
         return self._find_nsm(nsm_id)
 
     def _active_nsm_ids(self, exclude: Optional[int] = None) -> List[int]:
-        return [nid for nid, home in self._nsm_home.items()
-                if nid != exclude and nid in home._nsms
-                and home._nsms[nid].active]
+        """In-service NSMs across every shard.  Mirrors CoreEngine's
+        PR 5 placement fix: quarantined and deregistered NSMs are never
+        candidates — ``active`` alone is not trusted, because a
+        quarantine recorded on the home shard must disqualify the NSM
+        even if its registration flag is out of step."""
+        out: List[int] = []
+        for nid, home in self._nsm_home.items():
+            if nid == exclude:
+                continue
+            reg = home._nsms.get(nid)
+            if reg is None or not reg.active:
+                continue
+            if nid in home.quarantined:
+                continue
+            out.append(nid)
+        return out
 
-    def _least_loaded_nsm(self, exclude: Optional[int] = None) -> Optional[int]:
-        candidates = self._active_nsm_ids(exclude)
+    def _least_loaded_nsm(self, exclude: Optional[int] = None,
+                          among: Optional[List[int]] = None) -> Optional[int]:
+        """Least-loaded active NSM, optionally restricted to ``among``
+        (ids already validated as active); ties break by id order."""
+        candidates = among if among is not None \
+            else self._active_nsm_ids(exclude)
         if not candidates:
             return None
         loads = self.table.nsm_loads()
@@ -353,9 +424,24 @@ class ShardedCoreEngine:
         self._orphaned_vms.discard(vm_id)
 
     def assign_vm_auto(self, vm_id: int) -> int:
+        """Shard-aware load balancing: prefer an active NSM homed on the
+        VM's own shard (requests then never cross a shard boundary — the
+        traffic-closed layout the fig08 sharded benches prove is
+        bit-identical to a standalone switch), falling back to the
+        cluster-wide least-loaded NSM only when the home shard has no
+        qualifying NSM.  Quarantined/deregistered NSMs never qualify,
+        on either path."""
         if self._find_vm(vm_id) is None:
             raise ConfigurationError(f"unknown VM id {vm_id}")
-        nsm_id = self._least_loaded_nsm()
+        candidates = self._active_nsm_ids()
+        home = self._vm_home.get(vm_id)
+        nsm_id = None
+        if home is not None:
+            local = [nid for nid in candidates
+                     if self._nsm_home.get(nid) is home]
+            nsm_id = self._least_loaded_nsm(among=local)
+        if nsm_id is None:
+            nsm_id = self._least_loaded_nsm(among=candidates)
         if nsm_id is None:
             raise ConfigurationError("no active NSM registered")
         self.vm_to_nsm[vm_id] = nsm_id

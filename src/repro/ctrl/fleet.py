@@ -52,6 +52,11 @@ def fleet_snapshot(host) -> Dict[str, Any]:
                         for vm_id in sorted(engine._vm_home)},
             "nsm_home": {str(nsm_id): engine.shard_of_nsm(nsm_id)
                          for nsm_id in sorted(engine._nsm_home)},
+            # Per-shard load (active NSMs / homed VMs / live connections)
+            # — what shard-aware placement and the autoscaler's
+            # emptiest-shard spawn decide on.
+            "loads": {str(index): row
+                      for index, row in sorted(engine.shard_loads().items())},
         }
     return {
         "sim_now": round(host.sim.now, 9),

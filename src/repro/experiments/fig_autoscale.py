@@ -150,6 +150,9 @@ def run_autoscale_scenario(seed: int = 0, ticks: int = 14,
         "pool_delta": NQE_POOL.outstanding - pool_before,
         "handoffs": getattr(host.coreengine, "handoffs_in", 0),
         "peak_nsms": max_nsms_seen(report),
+        # End-state shard occupancy (shard-aware spawn should leave the
+        # surviving fleet spread one-NSM-per-shard before doubling up).
+        "shard_loads": report["shard_loads"],
     }
 
 
@@ -187,6 +190,7 @@ def run(seed: int = 0, ticks: int = 14, ce_shards: int = 2,
             problems.append(f"{label}: pool delta {result['pool_delta']}")
         if counters["migrations"] == 0:
             problems.append(f"{label}: autoscaler never migrated a VM")
+        shard_loads = result["shard_loads"] or {}
         rows.append([
             label,
             result["workload"]["rtts"],
@@ -199,6 +203,7 @@ def run(seed: int = 0, ticks: int = 14, ce_shards: int = 2,
             result["forward_entries"],
             len(result["violations"]),
             result["pool_delta"],
+            sum(1 for row in shard_loads.values() if row["nsms"]),
         ])
     notes = ("NSM fleet tracked the AG aggregate up and back down; every "
              "retirement drained through live migration; chaos crash "
@@ -209,5 +214,6 @@ def run(seed: int = 0, ticks: int = 14, ce_shards: int = 2,
         "NSM autoscaling on the AG-trace load signal (clean + chaos)",
         ["scenario", "rtts", "client_errors", "spawned", "retired",
          "migrations", "migration_failures", "leaked_forwards",
-         "live_forward_entries", "violations", "pool_delta"],
+         "live_forward_entries", "violations", "pool_delta",
+         "nsm_shards"],
         rows, notes=notes)

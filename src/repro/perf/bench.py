@@ -70,7 +70,8 @@ def bench_events(quick: bool) -> dict:
 def _mux_workload(scan: str, n_vms: int, active_vms: int,
                   nqes_per_active: int, burst: int = 1,
                   period: float = 20e-6, ring_slots: int = 256,
-                  vectorized: Optional[bool] = None) -> dict:
+                  vectorized: Optional[bool] = None,
+                  seed_conns: bool = False) -> dict:
     """Fig. 8-style multiplexing on raw NK devices.
 
     ``n_vms`` devices register with one CoreEngine; ``active_vms`` of
@@ -81,6 +82,13 @@ def _mux_workload(scan: str, n_vms: int, active_vms: int,
     fingerprint of the simulated timeline — identical across scan modes
     *and* across ``vectorized`` settings by the scheduler's bit-identity
     invariants.
+
+    ``seed_conns`` exercises the connection-plane control path at boot:
+    every VM is placed with ``assign_vm_auto`` (which consults
+    ``nsm_loads`` per call) and gets one established connection-table
+    entry.  With the indexed table that is O(VMs) total; a table that
+    regresses to full scans makes it O(VMs x connections) and blows the
+    bench's wall-time floor.
     """
     sim = Simulator()
     core = Core(sim, name="bench.ce", hz=DEFAULT_COST_MODEL.core_hz)
@@ -92,7 +100,15 @@ def _mux_workload(scan: str, n_vms: int, active_vms: int,
     vms = []
     for i in range(n_vms):
         vm_id, vm_dev = engine.register_vm(f"vm{i}", queue_sets=1)
-        engine.assign_vm(vm_id, nsm_id)
+        if seed_conns:
+            assigned = engine.assign_vm_auto(vm_id)
+            # One established connection per VM: VM socket 1 (the same
+            # socket id the producers use, so switching hits this entry
+            # instead of inserting) mapped to a unique NSM socket id.
+            engine.table.insert((vm_id, 0, 1), assigned, 0)
+            engine.table.complete((vm_id, 0, 1), nsm_socket_id=vm_id)
+        else:
+            engine.assign_vm(vm_id, nsm_id)
         vms.append((vm_id, vm_dev))
     received = [0]
 
@@ -251,7 +267,8 @@ _SHARD_FP_KEYS = ("nqes_switched", "batches", "received", "ce_busy_cycles")
 def _sharded_mux_workload(scan: str, n_shards: int, vms_per_shard: int,
                           active_per_shard: int, nqes_per_active: int,
                           burst: int = 1, period: float = 20e-6,
-                          ring_slots: int = 256) -> dict:
+                          ring_slots: int = 256,
+                          seed_conns: bool = False) -> dict:
     """The fig. 8 multiplexing workload partitioned over N shards.
 
     Each shard gets its own NSM plus ``vms_per_shard`` VMs pinned to the
@@ -262,6 +279,11 @@ def _sharded_mux_workload(scan: str, n_shards: int, vms_per_shard: int,
     of the same size; per-shard counters must therefore be bit-identical
     to that reference (the sharding analogue of PR 2's ready-vs-full
     scan proof).
+
+    ``seed_conns`` mirrors :func:`_mux_workload`'s flag at cluster
+    scale: every VM is placed with ``assign_vm_auto`` (shard-aware — the
+    result must be the VM's home-shard NSM, counted in ``cohomed``) and
+    seeded with one established connection-table entry.
     """
     from repro.core.sharding import ShardedCoreEngine
 
@@ -340,6 +362,7 @@ def _sharded_mux_workload(scan: str, n_shards: int, vms_per_shard: int,
             vm_dev.ring_doorbell()
             yield sim.timeout(period)
 
+    cohomed = 0
     for shard_index in range(n_shards):
         nsm_id, nsm_dev = engine.register_nsm(
             f"nsm{shard_index}", queue_sets=1, shard=shard_index)
@@ -348,7 +371,14 @@ def _sharded_mux_workload(scan: str, n_shards: int, vms_per_shard: int,
         for i in range(vms_per_shard):
             vm_id, vm_dev = engine.register_vm(
                 f"s{shard_index}.vm{i}", queue_sets=1, shard=shard_index)
-            engine.assign_vm(vm_id, nsm_id)
+            if seed_conns:
+                assigned = engine.assign_vm_auto(vm_id)
+                if assigned == nsm_id:
+                    cohomed += 1
+                engine.table.insert((vm_id, 0, 1), assigned, 0)
+                engine.table.complete((vm_id, 0, 1), nsm_socket_id=vm_id)
+            else:
+                engine.assign_vm(vm_id, nsm_id)
             shard_vms.append((vm_id, vm_dev))
         for _vm_id, vm_dev in shard_vms:
             sim.process(drainer(vm_dev))
@@ -370,6 +400,7 @@ def _sharded_mux_workload(scan: str, n_shards: int, vms_per_shard: int,
         "events_processed": sim.events_processed,
         "handoffs": engine.handoffs_in,
         "per_shard": per_shard,
+        "cohomed": cohomed,
     }
 
 
@@ -399,6 +430,58 @@ def _bench_fig08_sharded(n_shards: int, vms_per_shard: int,
             "peak_rss": max(peak, peak_ref),
             "n_shards": n_shards,
             "vms_total": n_shards * vms_per_shard,
+            "wall_1shard_partition_s": wall_ref,
+            "handoffs": out["handoffs"],
+            "fingerprint_match": match,
+            "fingerprint": ref_fp,
+            "per_shard_fingerprints": out["per_shard"],
+            "sim_now": out["sim_now"],
+        }
+
+    return bench
+
+
+def _bench_fig08_sharded_100k(n_shards: int, vms_per_shard_quick: int,
+                              vms_per_shard_full: int,
+                              nqes_quick: int, nqes_full: int):
+    """The 100k-VM scale proof for the indexed connection table.
+
+    Every VM is placed via shard-aware ``assign_vm_auto`` (one
+    ``nsm_loads`` consultation per boot) and seeded with one established
+    connection, so boot alone performs O(VMs) table control operations.
+    A connection table that regresses to full-table scans turns that
+    into O(VMs x connections) — ~2x10^8 entry visits even in the quick
+    20k-VM CI variant — and trips the wall-time floor.  The switching
+    fingerprint of every shard must stay bit-identical to a standalone
+    1-shard run of one partition, exactly like ``fig08_sharded``, and
+    shard-aware placement must have co-homed every VM (``cohomed`` ==
+    VMs, ``handoffs`` == 0).
+    """
+    def bench(quick: bool) -> dict:
+        vms_per_shard = vms_per_shard_quick if quick else vms_per_shard_full
+        active = max(1, vms_per_shard // 100)  # 1% duty cycle
+        nqes = nqes_quick if quick else nqes_full
+        slots = 1024
+        wall_ref, peak_ref, ref = _measure(
+            lambda: _mux_workload("ready", vms_per_shard, active, nqes,
+                                  ring_slots=slots, seed_conns=True))
+        ref_fp = {key: ref[key] for key in _SHARD_FP_KEYS}
+        wall, peak, out = _measure(
+            lambda: _sharded_mux_workload("ready", n_shards, vms_per_shard,
+                                          active, nqes, ring_slots=slots,
+                                          seed_conns=True))
+        vms_total = n_shards * vms_per_shard
+        match = (all(fp == ref_fp for fp in out["per_shard"])
+                 and out["sim_now"] == ref["sim_now"]
+                 and out["handoffs"] == 0
+                 and out["cohomed"] == vms_total)
+        return {
+            "wall_s": wall,
+            "events": out["events_processed"],
+            "peak_rss": max(peak, peak_ref),
+            "n_shards": n_shards,
+            "vms_total": vms_total,
+            "cohomed": out["cohomed"],
             "wall_1shard_partition_s": wall_ref,
             "handoffs": out["handoffs"],
             "fingerprint_match": match,
@@ -497,6 +580,9 @@ BENCHMARKS = {
     "fig08_mux_1000": _bench_fig08(1_000, nqes_quick=10, nqes_full=100),
     "fig08_sharded": _bench_fig08_sharded(4, 2_500,
                                           nqes_quick=4, nqes_full=100),
+    "fig08_sharded_100k": _bench_fig08_sharded_100k(
+        8, vms_per_shard_quick=2_500, vms_per_shard_full=12_500,
+        nqes_quick=8, nqes_full=40),
     "fig20_rps": bench_fig20_rps,
     "capacity_mux": bench_capacity_mux,
 }

@@ -121,6 +121,35 @@ class TestControlLoop:
         assert len(host.coreengine._active_nsm_ids()) == 2
 
 
+class TestShardAwareSpawn:
+    def test_spawn_lands_on_emptiest_shard(self):
+        """On a sharded switch, scale-out fills empty shards before
+        doubling up anywhere: one serving NSM per switching core."""
+        sim = Simulator()
+        host = NetKernelHost(sim, Network(sim), ce_shards=3)
+        host.add_nsm("nsm0", vcpus=1, stack="kernel", shard=0)
+        auto = host.enable_autoscaler(
+            [100.0], interval_sec=1e-3, provision_delay_sec=1e-4,
+            policy=AutoscalePolicy(nsm_capacity=30.0, headroom=1.0,
+                                   min_nsms=1, max_nsms=3))
+        sim.run(until=0.005)
+        auto.stop()
+        engine = host.coreengine
+        spawned = [nsm for name, nsm in host.nsms.items() if name != "nsm0"]
+        assert len(spawned) == 2  # desired 4, clamped to max_nsms=3
+        homes = sorted(engine.shard_of_nsm(nsm.nsm_id) for nsm in spawned)
+        assert homes == [1, 2]
+        report = auto.report()
+        assert sorted(report["shard_loads"]) == [0, 1, 2]
+        assert all(row["nsms"] == 1
+                   for row in report["shard_loads"].values())
+
+    def test_report_has_no_shard_loads_on_single_core_switch(self):
+        sim, host, auto = _autoscaled_host([10.0])
+        auto.stop()
+        assert auto.report()["shard_loads"] is None
+
+
 class TestInvariantHelpers:
     def test_assignment_violation_detected_without_standby(self):
         """With no standby, quarantine leaves the VM pointing at the

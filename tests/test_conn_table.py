@@ -92,6 +92,75 @@ class TestConnectionTable:
         assert table.nsm_loads() == {7: 1, 8: 1}
 
 
+class TestNsmTupleCollisions:
+    """Regressions for the silent-aliasing bug: complete()/rebind_vm()
+    used to overwrite _by_nsm[nsm_tuple] last-writer-wins, so two live
+    connections could claim one NSM socket and reverse lookups would
+    route one VM's traffic to the other."""
+
+    def test_complete_collision_rejected_and_rolled_back(self):
+        table = ConnectionTable()
+        table.insert((1, 0, 1), nsm_id=7, nsm_queue_set=0)
+        table.complete((1, 0, 1), nsm_socket_id=50)
+        victim = table.insert((2, 0, 1), nsm_id=7, nsm_queue_set=0)
+        with pytest.raises(ConnectionTableError):
+            table.complete((2, 0, 1), nsm_socket_id=50)
+        # The original binding survives; the colliding entry stays
+        # pending rather than half-bound.
+        assert table.lookup_nsm((7, 0, 50)).vm_tuple == (1, 0, 1)
+        assert not victim.complete
+
+    def test_same_socket_id_on_distinct_nsms_is_fine(self):
+        table = ConnectionTable()
+        table.insert((1, 0, 1), nsm_id=7, nsm_queue_set=0)
+        table.complete((1, 0, 1), nsm_socket_id=50)
+        table.insert((2, 0, 1), nsm_id=8, nsm_queue_set=0)
+        table.complete((2, 0, 1), nsm_socket_id=50)
+        assert table.lookup_nsm((7, 0, 50)).vm_tuple == (1, 0, 1)
+        assert table.lookup_nsm((8, 0, 50)).vm_tuple == (2, 0, 1)
+
+    def test_rebind_collision_rejected(self):
+        table = ConnectionTable()
+        table.insert((1, 0, 1), nsm_id=7, nsm_queue_set=0)
+        table.complete((1, 0, 1), nsm_socket_id=50)
+        table.insert((2, 0, 1), nsm_id=8, nsm_queue_set=0)
+        table.complete((2, 0, 1), nsm_socket_id=50)
+        # Migrating VM 2 onto NSM 7 would land its socket 50 on top of
+        # VM 1's established (7, 0, 50) binding.
+        with pytest.raises(ConnectionTableError):
+            table.rebind_vm(2, 7, lambda vm_tuple: 0)
+        assert table.lookup_nsm((7, 0, 50)).vm_tuple == (1, 0, 1)
+
+
+class _NoScan(dict):
+    """A dict that refuses to be iterated: installed over the main maps
+    to prove owner-scoped queries are served from the per-owner indexes,
+    never by scanning the whole table."""
+
+    def _scan(self, *_):
+        raise AssertionError("full-table scan")
+
+    __iter__ = items = values = keys = _scan
+
+
+class TestNoFullScans:
+    def test_owner_queries_never_scan_the_main_maps(self):
+        table = ConnectionTable()
+        for vm in range(1, 5):
+            table.insert((vm, 0, 1), nsm_id=1 + vm % 2, nsm_queue_set=0)
+            table.complete((vm, 0, 1), nsm_socket_id=10 + vm)
+        table._by_vm = _NoScan(table._by_vm)
+        table._by_nsm = _NoScan(table._by_nsm)
+        assert [e.vm_tuple for e in table.entries_for_vm(1)] == [(1, 0, 1)]
+        assert len(table.entries_for_nsm(1)) == 2
+        assert table.vms_for_nsm(2) == [1, 3]
+        assert table.nsm_loads() == {1: 2, 2: 2}
+        assert table.rebind_vm(1, 1, lambda vm_tuple: 0) == 1
+        assert table.nsm_loads() == {1: 3, 2: 1}
+        table.remove_vm((2, 0, 1))
+        assert table.nsm_loads() == {1: 2, 2: 1}
+
+
 class TestLoadBalancedAssignment:
     def test_assign_vm_auto_uses_live_connection_counts(self):
         """assign_vm_auto balances on the public nsm_loads() signal."""

@@ -1,0 +1,201 @@
+"""Property test: the indexed ConnectionTable is observationally
+identical to the old single-dict design.
+
+``NaiveTable`` reimplements the pre-index table — one dict per
+direction, every owner-scoped query a full scan — with the same
+collision rules.  A seeded random workload of insert / complete /
+remove / rebind / quarantine-style sweeps is applied to both tables in
+lockstep; after every operation the two must agree on every observable:
+live entries and their bindings, per-owner query results (including
+order, which failover timelines depend on), load counts, lengths,
+counters, and which operations raise.
+"""
+
+import random
+
+import pytest
+
+from repro.core.conn_table import ConnectionTable, ConnectionTableError
+
+
+class _NaiveEntry:
+    def __init__(self, vm_tuple, nsm_id, nsm_queue_set):
+        self.vm_tuple = vm_tuple
+        self.nsm_id = nsm_id
+        self.nsm_queue_set = nsm_queue_set
+        self.nsm_socket_id = None
+
+    @property
+    def complete(self):
+        return self.nsm_socket_id is not None
+
+    @property
+    def nsm_tuple(self):
+        if self.nsm_socket_id is None:
+            return None
+        return (self.nsm_id, self.nsm_queue_set, self.nsm_socket_id)
+
+
+class NaiveTable:
+    """The reference semantics, scans and all."""
+
+    def __init__(self):
+        self._by_vm = {}
+        self._by_nsm = {}
+        self.inserted = 0
+        self.removed = 0
+
+    def __len__(self):
+        return len(self._by_vm)
+
+    def insert(self, vm_tuple, nsm_id, nsm_queue_set):
+        if vm_tuple in self._by_vm:
+            raise ConnectionTableError(f"duplicate VM tuple {vm_tuple}")
+        entry = _NaiveEntry(vm_tuple, nsm_id, nsm_queue_set)
+        self._by_vm[vm_tuple] = entry
+        self.inserted += 1
+        return entry
+
+    def complete(self, vm_tuple, nsm_socket_id):
+        entry = self._by_vm.get(vm_tuple)
+        if entry is None:
+            raise ConnectionTableError(f"no entry for VM tuple {vm_tuple}")
+        if entry.complete:
+            if entry.nsm_socket_id != nsm_socket_id:
+                raise ConnectionTableError("conflicting NSM socket")
+            return entry
+        nsm_tuple = (entry.nsm_id, entry.nsm_queue_set, nsm_socket_id)
+        if nsm_tuple in self._by_nsm:
+            raise ConnectionTableError(f"alias of {nsm_tuple}")
+        entry.nsm_socket_id = nsm_socket_id
+        self._by_nsm[nsm_tuple] = entry
+        return entry
+
+    def lookup_vm(self, vm_tuple):
+        return self._by_vm.get(vm_tuple)
+
+    def lookup_nsm(self, nsm_tuple):
+        return self._by_nsm.get(nsm_tuple)
+
+    def remove_vm(self, vm_tuple):
+        entry = self._by_vm.pop(vm_tuple, None)
+        if entry is None:
+            return
+        if entry.nsm_tuple is not None:
+            self._by_nsm.pop(entry.nsm_tuple, None)
+        self.removed += 1
+
+    def entries_for_vm(self, vm_id):
+        return [e for e in self._by_vm.values() if e.vm_tuple[0] == vm_id]
+
+    def entries_for_nsm(self, nsm_id):
+        return [e for e in self._by_vm.values() if e.nsm_id == nsm_id]
+
+    def rebind_vm(self, vm_id, new_nsm_id, queue_set_for):
+        rebound = 0
+        for entry in self.entries_for_vm(vm_id):
+            if entry.nsm_tuple is not None:
+                self._by_nsm.pop(entry.nsm_tuple, None)
+            entry.nsm_id = new_nsm_id
+            entry.nsm_queue_set = queue_set_for(entry.vm_tuple)
+            if entry.nsm_tuple is not None:
+                holder = self._by_nsm.get(entry.nsm_tuple)
+                if holder is not None and holder is not entry:
+                    raise ConnectionTableError(f"alias of {entry.nsm_tuple}")
+                self._by_nsm[entry.nsm_tuple] = entry
+            rebound += 1
+        return rebound
+
+    def vms_for_nsm(self, nsm_id):
+        return sorted({e.vm_tuple[0] for e in self._by_vm.values()
+                       if e.nsm_id == nsm_id})
+
+    def nsm_loads(self):
+        loads = {}
+        for entry in self._by_vm.values():
+            loads[entry.nsm_id] = loads.get(entry.nsm_id, 0) + 1
+        return loads
+
+
+VM_IDS = range(1, 9)
+NSM_IDS = range(1, 5)
+SOCKETS = range(1, 5)      # small ranges on purpose: force collisions
+
+
+def _observe(table):
+    """Everything a caller can see, in one comparable structure."""
+    bindings = {vt: (e.nsm_id, e.nsm_queue_set, e.nsm_socket_id)
+                for vt, e in table._by_vm.items()}
+    return {
+        "len": len(table),
+        "inserted": table.inserted,
+        "removed": table.removed,
+        "bindings": bindings,
+        "nsm_loads": table.nsm_loads(),
+        "per_vm": {vm: [e.vm_tuple for e in table.entries_for_vm(vm)]
+                   for vm in VM_IDS},
+        "per_nsm": {nsm: [e.vm_tuple for e in table.entries_for_nsm(nsm)]
+                    for nsm in NSM_IDS},
+        "vms_per_nsm": {nsm: table.vms_for_nsm(nsm) for nsm in NSM_IDS},
+    }
+
+
+def _apply(table, op):
+    """Returns (result, error_type): never lets the exception escape so
+    both tables can be driven through identical failures."""
+    try:
+        kind = op[0]
+        if kind == "insert":
+            table.insert(op[1], op[2], op[3])
+            return None, None
+        if kind == "complete":
+            table.complete(op[1], op[2])
+            return None, None
+        if kind == "remove":
+            table.remove_vm(op[1])
+            return None, None
+        if kind == "rebind":
+            return table.rebind_vm(op[1], op[2], lambda vt: vt[1]), None
+        if kind == "quarantine":
+            # What failover does to a dead NSM: walk its entries in
+            # order and retire every connection.
+            victims = [e.vm_tuple for e in table.entries_for_nsm(op[1])]
+            for vm_tuple in victims:
+                table.remove_vm(vm_tuple)
+            return victims, None
+        raise AssertionError(f"unknown op {kind}")
+    except ConnectionTableError as error:
+        return None, type(error)
+
+
+def _random_op(rng):
+    roll = rng.random()
+    vm_tuple = (rng.choice(VM_IDS), rng.randrange(2), rng.choice(SOCKETS))
+    if roll < 0.40:
+        return ("insert", vm_tuple, rng.choice(NSM_IDS), rng.randrange(2))
+    if roll < 0.70:
+        return ("complete", vm_tuple, rng.choice(SOCKETS))
+    if roll < 0.85:
+        return ("remove", vm_tuple)
+    if roll < 0.95:
+        return ("rebind", rng.choice(VM_IDS), rng.choice(NSM_IDS))
+    return ("quarantine", rng.choice(NSM_IDS))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 17])
+def test_indexed_table_matches_naive_reference(seed):
+    rng = random.Random(seed)
+    indexed, naive = ConnectionTable(), NaiveTable()
+    raised = 0
+    for step in range(600):
+        op = _random_op(rng)
+        result_i, error_i = _apply(indexed, op)
+        result_n, error_n = _apply(naive, op)
+        assert error_i == error_n, (seed, step, op)
+        assert result_i == result_n, (seed, step, op)
+        if error_i is not None:
+            raised += 1
+        assert _observe(indexed) == _observe(naive), (seed, step, op)
+    # The workload must actually exercise the failure paths.
+    assert raised > 0
+    assert indexed.removed > 0

@@ -81,6 +81,124 @@ class TestFacade:
         assert "shard.0" in stats and "shard.1" in stats
 
 
+class TestShardAwarePlacement:
+    def test_auto_assign_prefers_home_shard(self):
+        sim, engine = _bare_cluster(n_shards=2)
+        nsm0, _ = engine.register_nsm("nsm0", 1, shard=0)
+        nsm1, _ = engine.register_nsm("nsm1", 1, shard=1)
+        # Load the shard-0 NSM well above the shard-1 one; a VM booting
+        # on shard 0 must still co-home with it (traffic-closedness
+        # beats cluster-wide least-loaded).
+        engine.table.insert((99, 0, 1), nsm0, 0)
+        engine.table.insert((99, 0, 2), nsm0, 0)
+        vm0, _ = engine.register_vm("vm0", 1, shard=0)
+        assert engine.assign_vm_auto(vm0) == nsm0
+        vm1, _ = engine.register_vm("vm1", 1, shard=1)
+        assert engine.assign_vm_auto(vm1) == nsm1
+
+    def test_auto_assign_balances_within_home_shard(self):
+        sim, engine = _bare_cluster(n_shards=2)
+        nsm_a, _ = engine.register_nsm("a", 1, shard=0)
+        nsm_b, _ = engine.register_nsm("b", 1, shard=0)
+        engine.table.insert((99, 0, 1), nsm_a, 0)
+        vm0, _ = engine.register_vm("vm0", 1, shard=0)
+        assert engine.assign_vm_auto(vm0) == nsm_b
+
+    def test_auto_assign_falls_back_across_shards(self):
+        sim, engine = _bare_cluster(n_shards=2)
+        nsm1, _ = engine.register_nsm("nsm1", 1, shard=1)
+        vm0, _ = engine.register_vm("vm0", 1, shard=0)
+        assert engine.assign_vm_auto(vm0) == nsm1
+
+    def test_auto_assign_skips_quarantined_home_nsm(self):
+        sim, engine = _bare_cluster(n_shards=2)
+        nsm0, _ = engine.register_nsm("nsm0", 1, shard=0)
+        nsm1, _ = engine.register_nsm("nsm1", 1, shard=1)
+        engine.quarantine_nsm(nsm0, reason="test")
+        vm0, _ = engine.register_vm("vm0", 1, shard=0)
+        assert engine.assign_vm_auto(vm0) == nsm1
+
+    def test_auto_assign_distrusts_stale_active_flag(self):
+        """A quarantine recorded on the home shard disqualifies the NSM
+        even while its registration still says active (half-applied
+        quarantine state must not receive new VMs)."""
+        sim, engine = _bare_cluster(n_shards=2)
+        nsm0, _ = engine.register_nsm("nsm0", 1, shard=0)
+        nsm1, _ = engine.register_nsm("nsm1", 1, shard=1)
+        home = engine._nsm_home[nsm0]
+        home.quarantined[nsm0] = "half-applied"
+        assert home._nsms[nsm0].active
+        vm0, _ = engine.register_vm("vm0", 1, shard=0)
+        assert engine.assign_vm_auto(vm0) == nsm1
+
+    def test_auto_assign_without_candidates_raises(self):
+        sim, engine = _bare_cluster()
+        vm0, _ = engine.register_vm("vm0", 1)
+        with pytest.raises(ConfigurationError):
+            engine.assign_vm_auto(vm0)
+
+
+class TestDirectoryConsistency:
+    def test_unknown_ids_raise_configuration_error(self):
+        sim, engine = _bare_cluster()
+        with pytest.raises(ConfigurationError):
+            engine.shard_of_vm(999)
+        with pytest.raises(ConfigurationError):
+            engine.shard_of_nsm(999)
+
+    def test_deregister_unknown_is_silent(self):
+        sim, engine = _bare_cluster()
+        engine.deregister(12345)  # guest-reachable op: must not raise
+
+    def test_deregister_clears_directory(self):
+        sim, engine = _bare_cluster()
+        vm_id, _ = engine.register_vm("vm", 1, shard=1)
+        engine.deregister(vm_id)
+        with pytest.raises(ConfigurationError):
+            engine.shard_of_vm(vm_id)
+
+    def test_shard_side_deregister_keeps_directory_in_step(self):
+        """A guest DEREGISTER lands on the home shard's engine, not the
+        facade; the facade directory must still be cleaned."""
+        sim, engine = _bare_cluster()
+        vm_id, _ = engine.register_vm("vm", 1, shard=1)
+        engine.shards[1].deregister(vm_id)
+        with pytest.raises(ConfigurationError):
+            engine.shard_of_vm(vm_id)
+        assert vm_id not in engine._vm_home
+
+
+class TestShardLoads:
+    def test_shard_loads_reports_per_shard_occupancy(self):
+        sim, engine = _bare_cluster(n_shards=3)
+        nsm0, _ = engine.register_nsm("nsm0", 1, shard=0)
+        engine.register_nsm("nsm1", 1, shard=1)
+        vm, _ = engine.register_vm("vm", 1, shard=0)
+        engine.table.insert((vm, 0, 1), nsm0, 0)
+        loads = engine.shard_loads()
+        assert loads[0] == {"nsms": 1, "vms": 1, "connections": 1}
+        assert loads[1] == {"nsms": 1, "vms": 0, "connections": 0}
+        assert loads[2] == {"nsms": 0, "vms": 0, "connections": 0}
+
+    def test_emptiest_shard_prefers_fewest_nsms_then_connections(self):
+        sim, engine = _bare_cluster(n_shards=3)
+        engine.register_nsm("nsm0", 1, shard=0)
+        assert engine.emptiest_shard() == 1  # no NSMs; index breaks tie
+        engine.register_nsm("nsm1", 1, shard=1)
+        engine.register_nsm("nsm2", 1, shard=2)
+        nsm3, _ = engine.register_nsm("nsm3", 1, shard=0)
+        engine.table.insert((50, 0, 1), nsm3, 0)
+        # All shards have NSMs (shard 0: two); 1 and 2 tie on count and
+        # connections, index decides.
+        assert engine.emptiest_shard() == 1
+
+    def test_quarantined_nsm_leaves_the_load_report(self):
+        sim, engine = _bare_cluster(n_shards=2)
+        nsm0, _ = engine.register_nsm("nsm0", 1, shard=0)
+        engine.quarantine_nsm(nsm0, reason="test")
+        assert engine.shard_loads()[0]["nsms"] == 0
+
+
 class TestCrossShardHandoff:
     def test_echo_rtts_across_shards(self):
         """Client VM homed on shard 1, its serving NSM on shard 0: every
